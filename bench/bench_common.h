@@ -1,0 +1,62 @@
+// Shared helpers for the benchmark harnesses: timing loops and
+// paper-style reporting.
+//
+// Every bench binary prints (a) a table of measurements sweeping the
+// input size and (b) a fitted growth exponent time ~ c·x^k, which is
+// what the paper's complexity claims (Theorem 3, Propositions 4/5,
+// Corollary 1) predict.
+
+#ifndef TRIAL_BENCH_BENCH_COMMON_H_
+#define TRIAL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/fit.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace trial {
+namespace bench {
+
+/// Runs `fn` once (workloads here are > milliseconds; no repetition
+/// needed for stable ordering conclusions) and returns seconds.
+inline double TimeOnce(const std::function<void()>& fn) {
+  Timer t;
+  fn();
+  return t.Seconds();
+}
+
+/// Runs `fn` enough times to accumulate ~20ms and returns per-run secs.
+inline double TimeStable(const std::function<void()>& fn) {
+  Timer total;
+  int runs = 0;
+  double elapsed = 0;
+  do {
+    Timer t;
+    fn();
+    elapsed += t.Seconds();
+    ++runs;
+  } while (elapsed < 0.02 && runs < 1000);
+  return elapsed / runs;
+}
+
+/// Prints the fitted exponent line for a series.
+inline void ReportFit(const std::string& label, const std::vector<double>& x,
+                      const std::vector<double>& t) {
+  PowerFit fit = FitPowerLaw(x, t);
+  std::printf("  fit: %-28s time ~ x^%.2f   (r2=%.3f)\n", label.c_str(),
+              fit.exponent, fit.r2);
+}
+
+inline void Banner(const char* title, const char* claim) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+}  // namespace bench
+}  // namespace trial
+
+#endif  // TRIAL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Quickstart: build Figure 1's transport triplestore, run the paper's
+// worked queries (Example 2, Example 4, query Q) and print the results.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "core/fragment.h"
+#include "rdf/fixtures.h"
+
+using namespace trial;
+
+namespace {
+
+void Show(const char* title, const TripleStore& store, const ExprPtr& e) {
+  std::printf("--- %s\n", title);
+  std::printf("expression: %s\n", e->ToString().c_str());
+  std::printf("fragment:   %s\n",
+              FragmentName(AnalyzeFragment(e).Classify()));
+  auto engine = MakeSmartEvaluator();
+  auto result = engine->Eval(e, store);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", store.ToString(*result).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // The RDF document of Figure 1 loaded as a triplestore: relation "E"
+  // holds both city hops (city, service, city) and the operator
+  // hierarchy (service, part_of, company).
+  TripleStore store = TransportStore();
+  std::printf("Figure 1 store: %zu objects, %zu triples\n\n",
+              store.NumObjects(), store.TotalTriples());
+
+  // Example 2:  e = E ⋈^{1,3',3}_{2=1'} E  — "city pairs together with
+  // the company operating the connecting service".
+  ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"),
+                         Spec(Pos::P1, Pos::P3p, Pos::P3,
+                              {Eq(Pos::P2, Pos::P1p)}));
+  Show("Example 2: one-step operator lookup", store, e);
+
+  // Example 4 / introduction: Reach→ — pairs connected through the
+  // object position by a chain of triples.
+  Show("Example 4: Reach-> = (E JOIN[1,2,3'; 3=1'])*", store,
+       ReachAnyPath(Expr::Rel("E")));
+
+  // Query Q: travel using services operated by the same company,
+  // closing the operator hierarchy transitively.
+  ExprPtr inner = Expr::StarRight(
+      Expr::Rel("E"),
+      Spec(Pos::P1, Pos::P3p, Pos::P3, {Eq(Pos::P2, Pos::P1p)}));
+  ExprPtr q = Expr::StarRight(
+      inner, Spec(Pos::P1, Pos::P2, Pos::P3p,
+                  {Eq(Pos::P3, Pos::P1p), Eq(Pos::P2, Pos::P2p)}));
+  Show("Query Q: same-company travel (Prop. 1 / Thm. 1 query)", store, q);
+
+  std::printf(
+      "Note how (St_Andrews, NatExpress, London) is in Q while no triple\n"
+      "(St_Andrews, *, Brussels) is: the Eurostar leg belongs to a\n"
+      "different company.  This distinction is exactly what graph\n"
+      "encodings of RDF lose (Proposition 1).\n");
+  return 0;
+}

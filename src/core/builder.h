@@ -1,0 +1,57 @@
+// Construction sugar for TriAL expressions, so queries read close to the
+// paper's notation.  Example (Example 2 of the paper):
+//
+//   using namespace trial;
+//   // e = E ⋈^{1,3',3}_{2=1'} E
+//   ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"),
+//                          Spec(Pos::P1, Pos::P3p, Pos::P3,
+//                               {Eq(Pos::P2, Pos::P1p)}));
+
+#ifndef TRIAL_CORE_BUILDER_H_
+#define TRIAL_CORE_BUILDER_H_
+
+#include <vector>
+
+#include "core/expr.h"
+
+namespace trial {
+
+/// Builds a JoinSpec from output positions and condition atoms.
+inline JoinSpec Spec(Pos i, Pos j, Pos k,
+                     std::vector<ObjConstraint> theta = {},
+                     std::vector<DataConstraint> eta = {}) {
+  JoinSpec spec;
+  spec.out = {i, j, k};
+  spec.cond.theta = std::move(theta);
+  spec.cond.eta = std::move(eta);
+  return spec;
+}
+
+/// Builds a unary (selection) condition.
+inline CondSet Where(std::vector<ObjConstraint> theta,
+                     std::vector<DataConstraint> eta = {}) {
+  CondSet cond;
+  cond.theta = std::move(theta);
+  cond.eta = std::move(eta);
+  return cond;
+}
+
+/// The "arbitrary path" reachability star (R ⋈^{1,2,3'}_{3=1'})* —
+/// one of the two reachTA= shapes (Proposition 5).
+inline ExprPtr ReachAnyPath(ExprPtr e) {
+  return Expr::StarRight(std::move(e),
+                         Spec(Pos::P1, Pos::P2, Pos::P3p,
+                              {Eq(Pos::P3, Pos::P1p)}));
+}
+
+/// The "same middle element" reachability star
+/// (R ⋈^{1,2,3'}_{3=1',2=2'})*.
+inline ExprPtr ReachSameMiddle(ExprPtr e) {
+  return Expr::StarRight(std::move(e),
+                         Spec(Pos::P1, Pos::P2, Pos::P3p,
+                              {Eq(Pos::P3, Pos::P1p), Eq(Pos::P2, Pos::P2p)}));
+}
+
+}  // namespace trial
+
+#endif  // TRIAL_CORE_BUILDER_H_

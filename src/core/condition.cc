@@ -1,0 +1,73 @@
+#include "core/condition.h"
+
+namespace trial {
+namespace {
+
+std::string ObjTermName(const ObjTerm& t) {
+  if (t.is_pos) return PosName(t.pos);
+  return "#" + std::to_string(t.constant);
+}
+
+std::string DataTermName(const DataTerm& t) {
+  if (t.is_pos) return std::string("rho(") + PosName(t.pos) + ")";
+  return t.constant.ToString();
+}
+
+}  // namespace
+
+const char* PosName(Pos p) {
+  switch (p) {
+    case Pos::P1: return "1";
+    case Pos::P2: return "2";
+    case Pos::P3: return "3";
+    case Pos::P1p: return "1'";
+    case Pos::P2p: return "2'";
+    default: return "3'";
+  }
+}
+
+bool CondSet::HasInequality() const {
+  for (const ObjConstraint& c : theta) {
+    if (!c.equal) return true;
+  }
+  for (const DataConstraint& c : eta) {
+    if (!c.equal) return true;
+  }
+  return false;
+}
+
+bool CondSet::IsUnary() const {
+  for (const ObjConstraint& c : theta) {
+    if (c.lhs.is_pos && !IsLeftPos(c.lhs.pos)) return false;
+    if (c.rhs.is_pos && !IsLeftPos(c.rhs.pos)) return false;
+  }
+  for (const DataConstraint& c : eta) {
+    if (c.lhs.is_pos && !IsLeftPos(c.lhs.pos)) return false;
+    if (c.rhs.is_pos && !IsLeftPos(c.rhs.pos)) return false;
+  }
+  return true;
+}
+
+std::string CondSet::ToString() const {
+  std::string out;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const ObjConstraint& c : theta) {
+    sep();
+    out += ObjTermName(c.lhs);
+    out += c.equal ? "=" : "!=";
+    out += ObjTermName(c.rhs);
+  }
+  for (const DataConstraint& c : eta) {
+    sep();
+    out += DataTermName(c.lhs);
+    out += c.equal ? "=" : "!=";
+    out += DataTermName(c.rhs);
+  }
+  return out;
+}
+
+}  // namespace trial

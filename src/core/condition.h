@@ -1,0 +1,187 @@
+// Join and selection conditions of the Triple Algebra (Section 3).
+//
+// A join R ⋈^{i,j,k}_{θ,η} R' carries
+//   * θ: (in)equalities between positions {1,2,3,1',2',3'} and object
+//     constants, and
+//   * η: (in)equalities between ρ(position) values and data constants.
+//
+// Selections σ_{θ,η}(e) use the same machinery restricted to positions
+// {1,2,3}.
+
+#ifndef TRIAL_CORE_CONDITION_H_
+#define TRIAL_CORE_CONDITION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/data_value.h"
+#include "storage/triple.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// A position in a join: 1,2,3 refer to the left argument's triple,
+/// 1',2',3' to the right argument's.
+enum class Pos : uint8_t { P1 = 0, P2, P3, P1p, P2p, P3p };
+
+/// 0-based index 0..5 of a position.
+inline int PosIndex(Pos p) { return static_cast<int>(p); }
+/// Whether the position refers to the left (unprimed) argument.
+inline bool IsLeftPos(Pos p) { return PosIndex(p) < 3; }
+/// 0..2 column inside its own argument.
+inline int PosColumn(Pos p) { return PosIndex(p) % 3; }
+/// Paper-style name: "1", "2'", ...
+const char* PosName(Pos p);
+
+/// Component of (l, r) addressed by `p`.
+inline ObjId PosValue(const Triple& l, const Triple& r, Pos p) {
+  switch (p) {
+    case Pos::P1: return l.s;
+    case Pos::P2: return l.p;
+    case Pos::P3: return l.o;
+    case Pos::P1p: return r.s;
+    case Pos::P2p: return r.p;
+    default: return r.o;
+  }
+}
+
+/// One side of a θ constraint: a position or an object constant.
+struct ObjTerm {
+  bool is_pos = true;
+  Pos pos = Pos::P1;
+  ObjId constant = 0;
+
+  static ObjTerm P(Pos p) { return ObjTerm{true, p, 0}; }
+  static ObjTerm C(ObjId o) { return ObjTerm{false, Pos::P1, o}; }
+
+  ObjId Value(const Triple& l, const Triple& r) const {
+    return is_pos ? PosValue(l, r, pos) : constant;
+  }
+  bool operator==(const ObjTerm& o) const {
+    return is_pos == o.is_pos &&
+           (is_pos ? pos == o.pos : constant == o.constant);
+  }
+};
+
+/// A θ atom:  lhs (=|≠) rhs.
+struct ObjConstraint {
+  ObjTerm lhs;
+  ObjTerm rhs;
+  bool equal = true;
+
+  bool Holds(const Triple& l, const Triple& r) const {
+    return (lhs.Value(l, r) == rhs.Value(l, r)) == equal;
+  }
+  bool operator==(const ObjConstraint& o) const {
+    return lhs == o.lhs && rhs == o.rhs && equal == o.equal;
+  }
+};
+
+/// One side of an η constraint: ρ(position) or a data-value constant.
+struct DataTerm {
+  bool is_pos = true;
+  Pos pos = Pos::P1;
+  DataValue constant;
+
+  static DataTerm P(Pos p) { return DataTerm{true, p, DataValue()}; }
+  static DataTerm C(DataValue v) {
+    return DataTerm{false, Pos::P1, std::move(v)};
+  }
+
+  const DataValue& Value(const Triple& l, const Triple& r,
+                         const TripleStore& store) const {
+    return is_pos ? store.Value(PosValue(l, r, pos)) : constant;
+  }
+  bool operator==(const DataTerm& o) const {
+    return is_pos == o.is_pos &&
+           (is_pos ? pos == o.pos : constant == o.constant);
+  }
+};
+
+/// An η atom:  ρ(lhs) (=|≠) ρ(rhs)  or  ρ(lhs) (=|≠) d.
+struct DataConstraint {
+  DataTerm lhs;
+  DataTerm rhs;
+  bool equal = true;
+
+  bool Holds(const Triple& l, const Triple& r,
+             const TripleStore& store) const {
+    return (lhs.Value(l, r, store) == rhs.Value(l, r, store)) == equal;
+  }
+  bool operator==(const DataConstraint& o) const {
+    return lhs == o.lhs && rhs == o.rhs && equal == o.equal;
+  }
+};
+
+/// A full condition (θ, η): conjunction of all atoms.
+struct CondSet {
+  std::vector<ObjConstraint> theta;
+  std::vector<DataConstraint> eta;
+
+  bool empty() const { return theta.empty() && eta.empty(); }
+  size_t size() const { return theta.size() + eta.size(); }
+
+  /// Conjunction over a pair of triples.
+  bool Holds(const Triple& l, const Triple& r,
+             const TripleStore& store) const {
+    for (const ObjConstraint& c : theta) {
+      if (!c.Holds(l, r)) return false;
+    }
+    for (const DataConstraint& c : eta) {
+      if (!c.Holds(l, r, store)) return false;
+    }
+    return true;
+  }
+
+  /// Unary (selection) form: all positions must be unprimed.
+  bool HoldsUnary(const Triple& t, const TripleStore& store) const {
+    return Holds(t, t, store);
+  }
+
+  /// True if any atom is an inequality (θ or η).  TriAL= (Theorem 5,
+  /// Proposition 4) is the fragment where this is false.
+  bool HasInequality() const;
+
+  /// True if every position mentioned is unprimed (valid selection).
+  bool IsUnary() const;
+
+  /// Paper-style rendering, e.g. "2=1', rho(3)!=rho(3')".
+  std::string ToString() const;
+
+  bool operator==(const CondSet& o) const {
+    return theta == o.theta && eta == o.eta;
+  }
+};
+
+// ---- condition construction sugar -------------------------------------
+
+inline ObjConstraint Eq(Pos a, Pos b) {
+  return ObjConstraint{ObjTerm::P(a), ObjTerm::P(b), true};
+}
+inline ObjConstraint Neq(Pos a, Pos b) {
+  return ObjConstraint{ObjTerm::P(a), ObjTerm::P(b), false};
+}
+inline ObjConstraint EqConst(Pos a, ObjId o) {
+  return ObjConstraint{ObjTerm::P(a), ObjTerm::C(o), true};
+}
+inline ObjConstraint NeqConst(Pos a, ObjId o) {
+  return ObjConstraint{ObjTerm::P(a), ObjTerm::C(o), false};
+}
+inline DataConstraint DataEq(Pos a, Pos b) {
+  return DataConstraint{DataTerm::P(a), DataTerm::P(b), true};
+}
+inline DataConstraint DataNeq(Pos a, Pos b) {
+  return DataConstraint{DataTerm::P(a), DataTerm::P(b), false};
+}
+inline DataConstraint DataEqConst(Pos a, DataValue v) {
+  return DataConstraint{DataTerm::P(a), DataTerm::C(std::move(v)), true};
+}
+inline DataConstraint DataNeqConst(Pos a, DataValue v) {
+  return DataConstraint{DataTerm::P(a), DataTerm::C(std::move(v)), false};
+}
+
+}  // namespace trial
+
+#endif  // TRIAL_CORE_CONDITION_H_

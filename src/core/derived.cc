@@ -1,0 +1,36 @@
+#include "core/derived.h"
+
+#include "core/builder.h"
+
+namespace trial {
+
+ExprPtr SemiJoin(ExprPtr a, ExprPtr b, CondSet cond) {
+  JoinSpec spec;
+  spec.out = {Pos::P1, Pos::P2, Pos::P3};  // keep the left triple
+  spec.cond = std::move(cond);
+  return Expr::Join(std::move(a), std::move(b), spec);
+}
+
+ExprPtr AntiJoin(ExprPtr a, ExprPtr b, CondSet cond) {
+  return Expr::Diff(a, SemiJoin(a, std::move(b), std::move(cond)));
+}
+
+ExprPtr UniverseViaJoins(const TripleStore& store) {
+  // occ = ∪_{relations R, positions i} R ⋈^{i,i,i} R : all (o,o,o) with
+  // o occurring somewhere in the store.
+  ExprPtr occ;
+  for (RelId r = 0; r < store.NumRelations(); ++r) {
+    ExprPtr rel = Expr::Rel(std::string(store.RelationName(r)));
+    for (Pos p : {Pos::P1, Pos::P2, Pos::P3}) {
+      ExprPtr diag = Expr::Join(rel, rel, Spec(p, p, p));
+      occ = occ == nullptr ? diag : Expr::Union(occ, diag);
+    }
+  }
+  if (occ == nullptr) return Expr::Empty();
+  // pair = occ ⋈^{1,1',1'} occ : all (a, b, b);
+  // U    = pair ⋈^{1,2,1'} occ : all (a, b, c).
+  ExprPtr pair = Expr::Join(occ, occ, Spec(Pos::P1, Pos::P1p, Pos::P1p));
+  return Expr::Join(pair, occ, Spec(Pos::P1, Pos::P2, Pos::P1p));
+}
+
+}  // namespace trial

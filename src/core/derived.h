@@ -1,0 +1,35 @@
+// Derived operators built from the primitive algebra:
+//
+//  * SemiJoin / AntiJoin — the restriction the paper's conclusions
+//    single out as future work ("use semi-joins instead", related to the
+//    guarded fragment): e1 ⋉_{θ,η} e2 keeps the left triples that join
+//    with at least one right triple.  In TriAL it is simply the join
+//    with output positions (1,2,3).
+//  * UniverseViaJoins — the paper's *definition* of U from joins and
+//    unions over the stored relations ("Definable operations",
+//    Section 3), as opposed to the kUniverse primitive the engines
+//    implement directly.  Used to validate that primitive.
+
+#ifndef TRIAL_CORE_DERIVED_H_
+#define TRIAL_CORE_DERIVED_H_
+
+#include "core/expr.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// e1 ⋉_{θ,η} e2 — left triples with at least one matching right triple.
+ExprPtr SemiJoin(ExprPtr a, ExprPtr b, CondSet cond);
+
+/// e1 ▷_{θ,η} e2 = e1 − (e1 ⋉_{θ,η} e2) — left triples with none.
+ExprPtr AntiJoin(ExprPtr a, ExprPtr b, CondSet cond);
+
+/// The paper's join-based construction of U over the store's relations:
+/// union of per-position "occurs" diagonals, combined by two
+/// unconstrained joins.  Semantically equal to Expr::Universe() on the
+/// same store.
+ExprPtr UniverseViaJoins(const TripleStore& store);
+
+}  // namespace trial
+
+#endif  // TRIAL_CORE_DERIVED_H_

@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <vector>
+
+#include "core/eval.h"
+
+namespace trial {
+
+Status ValidateExpr(const ExprPtr& e) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  switch (e->kind()) {
+    case ExprKind::kRel:
+      if (e->rel_name().empty()) {
+        return Status::InvalidArgument("empty relation name");
+      }
+      return Status::OK();
+    case ExprKind::kEmpty:
+    case ExprKind::kUniverse:
+      return Status::OK();
+    case ExprKind::kSelect:
+      if (!e->select_cond().IsUnary()) {
+        return Status::InvalidArgument(
+            "selection condition uses primed positions: " +
+            e->select_cond().ToString());
+      }
+      return ValidateExpr(e->left());
+    case ExprKind::kUnion:
+    case ExprKind::kDiff:
+    case ExprKind::kJoin: {
+      TRIAL_RETURN_IF_ERROR(ValidateExpr(e->left()));
+      return ValidateExpr(e->right());
+    }
+    case ExprKind::kStarRight:
+    case ExprKind::kStarLeft:
+      return ValidateExpr(e->left());
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+std::vector<ObjId> ActiveObjects(const TripleStore& store) {
+  std::vector<bool> seen(store.NumObjects(), false);
+  for (RelId r = 0; r < store.NumRelations(); ++r) {
+    for (const Triple& t : store.Relation(r)) {
+      seen[t.s] = seen[t.p] = seen[t.o] = true;
+    }
+  }
+  std::vector<ObjId> out;
+  for (ObjId i = 0; i < seen.size(); ++i) {
+    if (seen[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<ObjId, ObjId>> ProjectSO(const TripleSet& set) {
+  std::vector<std::pair<ObjId, ObjId>> out;
+  out.reserve(set.size());
+  ObjId last_s = 0, last_o = 0;
+  bool have_last = false;
+  for (const Triple& t : set) {
+    if (have_last && t.s == last_s && t.o == last_o) continue;
+    out.emplace_back(t.s, t.o);
+    last_s = t.s;
+    last_o = t.o;
+    have_last = true;
+  }
+  // The sorted (s,p,o) order does not make (s,o) pairs adjacent in
+  // general; dedup properly.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace trial

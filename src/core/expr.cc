@@ -1,0 +1,138 @@
+#include "core/expr.h"
+
+namespace trial {
+
+namespace {
+ExprPtr MakeNode(ExprKind k, std::string rel, JoinSpec spec, ExprPtr l,
+                 ExprPtr r) {
+  struct Access : Expr {
+    Access(ExprKind k, std::string rel, JoinSpec spec, ExprPtr l, ExprPtr r)
+        : Expr(k, std::move(rel), std::move(spec), std::move(l),
+               std::move(r)) {}
+   private:
+    friend class Expr;
+  };
+  // Expr's constructor is private; allocate through a local subclass.
+  return std::make_shared<const Access>(k, std::move(rel), std::move(spec),
+                                        std::move(l), std::move(r));
+}
+}  // namespace
+
+std::string JoinSpec::ToString() const {
+  std::string out;
+  out += PosName(this->out[0]);
+  out += ",";
+  out += PosName(this->out[1]);
+  out += ",";
+  out += PosName(this->out[2]);
+  if (!cond.empty()) {
+    out += "; ";
+    out += cond.ToString();
+  }
+  return out;
+}
+
+ExprPtr Expr::Rel(std::string name) {
+  return MakeNode(ExprKind::kRel, std::move(name), JoinSpec{}, nullptr,
+                  nullptr);
+}
+
+ExprPtr Expr::Empty() {
+  return MakeNode(ExprKind::kEmpty, "", JoinSpec{}, nullptr, nullptr);
+}
+
+ExprPtr Expr::Universe() {
+  return MakeNode(ExprKind::kUniverse, "", JoinSpec{}, nullptr, nullptr);
+}
+
+ExprPtr Expr::Select(ExprPtr e, CondSet cond) {
+  JoinSpec spec;
+  spec.cond = std::move(cond);
+  return MakeNode(ExprKind::kSelect, "", std::move(spec), std::move(e),
+                  nullptr);
+}
+
+ExprPtr Expr::Union(ExprPtr a, ExprPtr b) {
+  return MakeNode(ExprKind::kUnion, "", JoinSpec{}, std::move(a),
+                  std::move(b));
+}
+
+ExprPtr Expr::Diff(ExprPtr a, ExprPtr b) {
+  return MakeNode(ExprKind::kDiff, "", JoinSpec{}, std::move(a),
+                  std::move(b));
+}
+
+ExprPtr Expr::Join(ExprPtr a, ExprPtr b, JoinSpec spec) {
+  return MakeNode(ExprKind::kJoin, "", std::move(spec), std::move(a),
+                  std::move(b));
+}
+
+ExprPtr Expr::StarRight(ExprPtr e, JoinSpec spec) {
+  return MakeNode(ExprKind::kStarRight, "", std::move(spec), std::move(e),
+                  nullptr);
+}
+
+ExprPtr Expr::StarLeft(ExprPtr e, JoinSpec spec) {
+  return MakeNode(ExprKind::kStarLeft, "", std::move(spec), std::move(e),
+                  nullptr);
+}
+
+JoinSpec IntersectSpec() {
+  JoinSpec spec;
+  spec.out = {Pos::P1, Pos::P2, Pos::P3};
+  spec.cond.theta = {Eq(Pos::P1, Pos::P1p), Eq(Pos::P2, Pos::P2p),
+                     Eq(Pos::P3, Pos::P3p)};
+  return spec;
+}
+
+ExprPtr Expr::Intersect(ExprPtr a, ExprPtr b) {
+  return Join(std::move(a), std::move(b), IntersectSpec());
+}
+
+ExprPtr Expr::Complement(ExprPtr e) {
+  return Diff(Universe(), std::move(e));
+}
+
+size_t Expr::Size() const {
+  size_t n = 1 + spec_.cond.size();
+  if (left_) n += left_->Size();
+  if (right_) n += right_->Size();
+  return n;
+}
+
+bool Expr::IsRecursive() const {
+  if (kind_ == ExprKind::kStarRight || kind_ == ExprKind::kStarLeft) {
+    return true;
+  }
+  if (left_ && left_->IsRecursive()) return true;
+  if (right_ && right_->IsRecursive()) return true;
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kRel:
+      return rel_name_;
+    case ExprKind::kEmpty:
+      return "{}";
+    case ExprKind::kUniverse:
+      return "U";
+    case ExprKind::kSelect:
+      return "sigma[" + spec_.cond.ToString() + "](" + left_->ToString() +
+             ")";
+    case ExprKind::kUnion:
+      return "(" + left_->ToString() + " u " + right_->ToString() + ")";
+    case ExprKind::kDiff:
+      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+    case ExprKind::kJoin:
+      return "(" + left_->ToString() + " JOIN[" + spec_.ToString() + "] " +
+             right_->ToString() + ")";
+    case ExprKind::kStarRight:
+      return "(" + left_->ToString() + " JOIN[" + spec_.ToString() + "])*";
+    case ExprKind::kStarLeft:
+      return "(JOIN[" + spec_.ToString() + "] " + left_->ToString() + ")*";
+  }
+  return "?";
+}
+
+}  // namespace trial

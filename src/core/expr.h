@@ -1,0 +1,136 @@
+// The TriAL / TriAL* expression AST (Section 3).
+//
+// Grammar (paper, Section 3):
+//   e ::= E                    (relation name)
+//       | σ_{θ,η}(e)           (selection; θ,η over positions 1,2,3)
+//       | e ∪ e | e − e        (set operations)
+//       | e ⋈^{i,j,k}_{θ,η} e  (triple join)
+//       | (e ⋈^{i,j,k}_{θ,η})* (right Kleene closure)   [TriAL*]
+//       | (⋈^{i,j,k}_{θ,η} e)* (left Kleene closure)    [TriAL*]
+//
+// Derived forms provided as constructors: intersection (a join, as in the
+// paper), the universal relation U (all triples over objects occurring in
+// the store) and complement e^c = U − e.  U is primitive here (kUniverse)
+// because materializing the paper's join-based definition of U node by
+// node would be identical in outcome and strictly slower.
+
+#ifndef TRIAL_CORE_EXPR_H_
+#define TRIAL_CORE_EXPR_H_
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/condition.h"
+
+namespace trial {
+
+class Expr;
+/// Expressions are immutable and shared; sub-DAGs may be reused.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Output specification + condition of a join: the (i,j,k) above the ⋈
+/// and the (θ, η) below it.
+struct JoinSpec {
+  std::array<Pos, 3> out = {Pos::P1, Pos::P2, Pos::P3};
+  CondSet cond;
+
+  /// The output triple produced from a matching pair (l, r).
+  Triple Output(const Triple& l, const Triple& r) const {
+    return Triple{PosValue(l, r, out[0]), PosValue(l, r, out[1]),
+                  PosValue(l, r, out[2])};
+  }
+
+  /// "1,3',3; 2=1'" rendering.
+  std::string ToString() const;
+
+  bool operator==(const JoinSpec& o) const {
+    return out == o.out && cond == o.cond;
+  }
+};
+
+/// Node kinds of the algebra.
+enum class ExprKind {
+  kRel,        ///< named stored relation
+  kEmpty,      ///< ∅ (result of optimizer simplifications)
+  kUniverse,   ///< U: all triples over objects occurring in the store
+  kSelect,     ///< σ_{θ,η}(e)
+  kUnion,      ///< e1 ∪ e2
+  kDiff,       ///< e1 − e2
+  kJoin,       ///< e1 ⋈ e2
+  kStarRight,  ///< (e ⋈)*  — accumulator joins e on the right
+  kStarLeft,   ///< (⋈ e)*  — e joins accumulator on the left
+};
+
+/// An immutable TriAL(*) expression node.
+class Expr : public std::enable_shared_from_this<Expr> {
+ public:
+  ExprKind kind() const { return kind_; }
+  /// Relation name (kRel only).
+  const std::string& rel_name() const { return rel_name_; }
+  /// Selection condition (kSelect) — unary.
+  const CondSet& select_cond() const { return spec_.cond; }
+  /// Join spec (kJoin, kStarRight, kStarLeft).
+  const JoinSpec& join_spec() const { return spec_; }
+  /// Children; left() is also the operand of selections and stars.
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  // ---- constructors ----------------------------------------------------
+
+  /// Stored relation E.
+  static ExprPtr Rel(std::string name);
+  /// ∅.
+  static ExprPtr Empty();
+  /// U — all triples over the store's active objects.
+  static ExprPtr Universe();
+  /// σ_{θ,η}(e).  `cond` must be unary (positions 1,2,3 only).
+  static ExprPtr Select(ExprPtr e, CondSet cond);
+  static ExprPtr Union(ExprPtr a, ExprPtr b);
+  static ExprPtr Diff(ExprPtr a, ExprPtr b);
+  static ExprPtr Join(ExprPtr a, ExprPtr b, JoinSpec spec);
+  /// (e ⋈_spec)* — right Kleene closure.
+  static ExprPtr StarRight(ExprPtr e, JoinSpec spec);
+  /// (⋈_spec e)* — left Kleene closure.
+  static ExprPtr StarLeft(ExprPtr e, JoinSpec spec);
+
+  // ---- derived forms (Section 3, "Definable operations") --------------
+
+  /// e1 ∩ e2 = e1 ⋈^{1,2,3}_{1=1',2=2',3=3'} e2.
+  static ExprPtr Intersect(ExprPtr a, ExprPtr b);
+  /// e^c = U − e.
+  static ExprPtr Complement(ExprPtr e);
+
+  // ---- inspection -------------------------------------------------------
+
+  /// Size |e| of the expression: nodes plus condition atoms; the "|e|"
+  /// factor in the complexity bounds of Section 5.
+  size_t Size() const;
+
+  /// Parenthesized rendering close to the paper's notation.
+  std::string ToString() const;
+
+  /// True if the expression contains a Kleene star (is in TriAL* \ TriAL).
+  bool IsRecursive() const;
+
+ protected:
+  Expr(ExprKind k, std::string rel, JoinSpec spec, ExprPtr l, ExprPtr r)
+      : kind_(k),
+        rel_name_(std::move(rel)),
+        spec_(std::move(spec)),
+        left_(std::move(l)),
+        right_(std::move(r)) {}
+
+ private:
+  ExprKind kind_;
+  std::string rel_name_;
+  JoinSpec spec_;
+  ExprPtr left_, right_;
+};
+
+/// Convenience: the canonical intersection join spec.
+JoinSpec IntersectSpec();
+
+}  // namespace trial
+
+#endif  // TRIAL_CORE_EXPR_H_

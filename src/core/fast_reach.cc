@@ -1,0 +1,113 @@
+#include "core/fast_reach.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace trial {
+namespace {
+
+// Reflexive-transitive reach sets from each source in `sources`, over the
+// adjacency relation adj (dense-compacted node ids).  Returns, per source,
+// the sorted list of reached nodes (including the source).
+std::vector<std::vector<uint32_t>> ReachSets(
+    const std::vector<std::vector<uint32_t>>& adj,
+    const std::vector<uint32_t>& sources) {
+  size_t n = adj.size();
+  std::vector<std::vector<uint32_t>> out(sources.size());
+  std::vector<uint32_t> mark(n, UINT32_MAX);
+  std::vector<uint32_t> stack;
+  for (size_t si = 0; si < sources.size(); ++si) {
+    uint32_t s = sources[si];
+    stack.assign(1, s);
+    mark[s] = static_cast<uint32_t>(si);
+    std::vector<uint32_t>& reach = out[si];
+    reach.push_back(s);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      for (uint32_t v : adj[u]) {
+        if (mark[v] != si) {
+          mark[v] = static_cast<uint32_t>(si);
+          reach.push_back(v);
+          stack.push_back(v);
+        }
+      }
+    }
+    std::sort(reach.begin(), reach.end());
+  }
+  return out;
+}
+
+// Dense-compacts the node ids appearing in `triples` (subjects/objects
+// only — the projected graph ignores middles).
+struct Compact {
+  std::unordered_map<ObjId, uint32_t> to_dense;
+  std::vector<ObjId> to_obj;
+
+  uint32_t Add(ObjId o) {
+    auto [it, inserted] = to_dense.emplace(o, to_obj.size());
+    if (inserted) to_obj.push_back(o);
+    return it->second;
+  }
+};
+
+TripleSet StarOverEdges(const std::vector<Triple>& triples) {
+  Compact ids;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(triples.size());
+  for (const Triple& t : triples) {
+    edges.emplace_back(ids.Add(t.s), ids.Add(t.o));
+  }
+  size_t n = ids.to_obj.size();
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (auto [u, v] : edges) adj[u].push_back(v);
+
+  // Sources we need reach sets for: the object position of every triple.
+  std::vector<uint32_t> sources;
+  sources.reserve(n);
+  {
+    std::vector<bool> need(n, false);
+    for (auto [u, v] : edges) {
+      (void)u;
+      need[v] = true;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      if (need[i]) sources.push_back(i);
+    }
+  }
+  std::vector<uint32_t> source_index(n, UINT32_MAX);
+  for (uint32_t i = 0; i < sources.size(); ++i) source_index[sources[i]] = i;
+
+  std::vector<std::vector<uint32_t>> reach = ReachSets(adj, sources);
+
+  TripleSet out;
+  for (const Triple& t : triples) {
+    uint32_t j = ids.to_dense.at(t.o);
+    const std::vector<uint32_t>& rs = reach[source_index[j]];
+    for (uint32_t l : rs) out.Insert(t.s, t.p, ids.to_obj[l]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TripleSet StarReachAnyPath(const TripleSet& base) {
+  return StarOverEdges(base.triples());
+}
+
+TripleSet StarReachSameMiddle(const TripleSet& base) {
+  // Group triples by middle element; run Procedure 3 within each group.
+  std::unordered_map<ObjId, std::vector<Triple>> by_middle;
+  for (const Triple& t : base) by_middle[t.p].push_back(t);
+  TripleSet out;
+  for (auto& [mid, group] : by_middle) {
+    (void)mid;
+    TripleSet part = StarOverEdges(group);
+    out = TripleSet::Union(out, part);
+  }
+  return out;
+}
+
+}  // namespace trial

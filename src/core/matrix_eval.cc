@@ -1,0 +1,154 @@
+// Theorem 3's QueryComputation algorithm on the dense "array
+// representation": every (sub)relation is an n×n×n bit tensor, where n is
+// the number of objects in the store.
+//
+// Joins are Procedure 1 (enumerate set triples of both arguments, test
+// the condition, set the output bit); stars are Procedure 2 (repeat
+// Re := Re ∪ (Re ⋈ R1) until saturation — the paper loops n³ times, we
+// stop at the fixpoint which is reached no later).  Set operations are
+// word-parallel on the tensors.
+//
+// This engine exists for fidelity to the paper's cost model and as a
+// differential-testing oracle; memory (n³/8 bytes per materialized node)
+// restricts it to small object counts.
+
+#include "core/eval.h"
+#include "util/bit_matrix.h"
+
+namespace trial {
+namespace {
+
+// Hard cap on the dense tensor size: n^3/8 bytes <= 64 MiB  =>  n <= 812.
+constexpr size_t kMaxTensorBytes = 64ull << 20;
+
+std::vector<Triple> ExtractTriples(const BitTensor3& t) {
+  std::vector<Triple> out;
+  size_t n = t.n();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t k = 0; k < n; ++k) {
+        if (t.Get(i, j, k)) {
+          out.push_back(Triple{static_cast<ObjId>(i), static_cast<ObjId>(j),
+                               static_cast<ObjId>(k)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class MatrixEvaluator final : public Evaluator {
+ public:
+  explicit MatrixEvaluator(EvalOptions opts) : opts_(opts) {}
+
+  Result<TripleSet> Eval(const ExprPtr& e, const TripleStore& store) override {
+    TRIAL_RETURN_IF_ERROR(ValidateExpr(e));
+    size_t n = store.NumObjects();
+    if (n * n * n / 8 > kMaxTensorBytes) {
+      return Status::ResourceExhausted(
+          "matrix engine: " + std::to_string(n) +
+          " objects exceed the dense-tensor budget");
+    }
+    TRIAL_ASSIGN_OR_RETURN(BitTensor3 t, EvalNode(*e, store));
+    if (t.Count() > opts_.max_result_triples) {
+      return Status::ResourceExhausted("result too large");
+    }
+    return TripleSet(ExtractTriples(t));
+  }
+
+  const char* name() const override { return "matrix"; }
+
+ private:
+  Result<BitTensor3> EvalNode(const Expr& e, const TripleStore& store) {
+    size_t n = store.NumObjects();
+    switch (e.kind()) {
+      case ExprKind::kRel: {
+        const TripleSet* rel = store.FindRelation(e.rel_name());
+        if (rel == nullptr) {
+          return Status::NotFound("unknown relation: " + e.rel_name());
+        }
+        BitTensor3 t(n);
+        for (const Triple& tr : *rel) t.Set(tr.s, tr.p, tr.o);
+        return t;
+      }
+      case ExprKind::kEmpty:
+        return BitTensor3(n);
+      case ExprKind::kUniverse: {
+        BitTensor3 t(n);
+        std::vector<ObjId> objs = ActiveObjects(store);
+        for (ObjId a : objs) {
+          for (ObjId b : objs) {
+            for (ObjId c : objs) t.Set(a, b, c);
+          }
+        }
+        return t;
+      }
+      case ExprKind::kSelect: {
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 in, EvalNode(*e.left(), store));
+        BitTensor3 out(n);
+        for (const Triple& tr : ExtractTriples(in)) {
+          if (e.select_cond().HoldsUnary(tr, store)) out.Set(tr.s, tr.p, tr.o);
+        }
+        return out;
+      }
+      case ExprKind::kUnion: {
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 b, EvalNode(*e.right(), store));
+        a.OrInPlace(b);
+        return a;
+      }
+      case ExprKind::kDiff: {
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 b, EvalNode(*e.right(), store));
+        a.SubtractInPlace(b);
+        return a;
+      }
+      case ExprKind::kJoin: {
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 b, EvalNode(*e.right(), store));
+        return JoinTensors(a, b, e.join_spec(), store);
+      }
+      case ExprKind::kStarRight:
+      case ExprKind::kStarLeft: {
+        TRIAL_ASSIGN_OR_RETURN(BitTensor3 base, EvalNode(*e.left(), store));
+        bool right = e.kind() == ExprKind::kStarRight;
+        // Procedure 2.
+        BitTensor3 acc = base;
+        for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
+          BitTensor3 step = right ? JoinTensors(acc, base, e.join_spec(), store)
+                                  : JoinTensors(base, acc, e.join_spec(), store);
+          if (!acc.OrInPlace(step)) return acc;
+        }
+        return Status::ResourceExhausted("star fixpoint exceeded round limit");
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  // Procedure 1.
+  BitTensor3 JoinTensors(const BitTensor3& a, const BitTensor3& b,
+                         const JoinSpec& spec, const TripleStore& store) {
+    BitTensor3 out(a.n());
+    std::vector<Triple> la = ExtractTriples(a);
+    std::vector<Triple> lb = ExtractTriples(b);
+    for (const Triple& x : la) {
+      for (const Triple& y : lb) {
+        if (spec.cond.Holds(x, y, store)) {
+          Triple o = spec.Output(x, y);
+          out.Set(o.s, o.p, o.o);
+        }
+      }
+    }
+    return out;
+  }
+
+  EvalOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Evaluator> MakeMatrixEvaluator(EvalOptions opts) {
+  return std::make_unique<MatrixEvaluator>(opts);
+}
+
+}  // namespace trial

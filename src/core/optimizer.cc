@@ -1,0 +1,227 @@
+#include "core/optimizer.h"
+
+#include <vector>
+
+namespace trial {
+namespace {
+
+bool SameAtomUpToSymmetry(const ObjConstraint& a, const ObjConstraint& b) {
+  return (a.lhs == b.lhs && a.rhs == b.rhs) ||
+         (a.lhs == b.rhs && a.rhs == b.lhs);
+}
+bool SameAtomUpToSymmetry(const DataConstraint& a, const DataConstraint& b) {
+  return (a.lhs == b.lhs && a.rhs == b.rhs) ||
+         (a.lhs == b.rhs && a.rhs == b.lhs);
+}
+
+// Remaps a unary (output-side) position through a join's output spec:
+// output position i was produced from spec.out[i].
+Pos RemapPos(Pos p, const JoinSpec& spec) {
+  return spec.out[PosColumn(p)];
+}
+
+CondSet RemapThroughJoin(const CondSet& cond, const JoinSpec& spec) {
+  CondSet out = cond;
+  for (ObjConstraint& c : out.theta) {
+    if (c.lhs.is_pos) c.lhs.pos = RemapPos(c.lhs.pos, spec);
+    if (c.rhs.is_pos) c.rhs.pos = RemapPos(c.rhs.pos, spec);
+  }
+  for (DataConstraint& c : out.eta) {
+    if (c.lhs.is_pos) c.lhs.pos = RemapPos(c.lhs.pos, spec);
+    if (c.rhs.is_pos) c.rhs.pos = RemapPos(c.rhs.pos, spec);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<CondSet> NormalizeCond(const CondSet& cond) {
+  CondSet out;
+  for (const ObjConstraint& c : cond.theta) {
+    if (c.lhs == c.rhs) {
+      if (!c.equal) return std::nullopt;  // x != x
+      continue;                           // x = x
+    }
+    if (!c.lhs.is_pos && !c.rhs.is_pos) {  // const vs const
+      bool holds = (c.lhs.constant == c.rhs.constant) == c.equal;
+      if (!holds) return std::nullopt;
+      continue;
+    }
+    bool dup = false;
+    for (const ObjConstraint& prev : out.theta) {
+      if (SameAtomUpToSymmetry(prev, c)) {
+        if (prev.equal != c.equal) return std::nullopt;  // x=y and x!=y
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.theta.push_back(c);
+  }
+  // A position equated to two distinct constants is unsatisfiable.
+  for (size_t i = 0; i < out.theta.size(); ++i) {
+    const ObjConstraint& a = out.theta[i];
+    if (!a.equal) continue;
+    for (size_t j = i + 1; j < out.theta.size(); ++j) {
+      const ObjConstraint& b = out.theta[j];
+      if (!b.equal) continue;
+      auto pos_of = [](const ObjConstraint& c) {
+        return c.lhs.is_pos ? c.lhs : c.rhs;
+      };
+      auto const_of = [](const ObjConstraint& c) {
+        return c.lhs.is_pos ? c.rhs : c.lhs;
+      };
+      if (a.lhs.is_pos != a.rhs.is_pos && b.lhs.is_pos != b.rhs.is_pos &&
+          pos_of(a) == pos_of(b) &&
+          const_of(a).constant != const_of(b).constant) {
+        return std::nullopt;
+      }
+    }
+  }
+  for (const DataConstraint& c : cond.eta) {
+    if (c.lhs == c.rhs) {
+      if (!c.equal) return std::nullopt;
+      continue;
+    }
+    if (!c.lhs.is_pos && !c.rhs.is_pos) {
+      bool holds = (c.lhs.constant == c.rhs.constant) == c.equal;
+      if (!holds) return std::nullopt;
+      continue;
+    }
+    bool dup = false;
+    for (const DataConstraint& prev : out.eta) {
+      if (SameAtomUpToSymmetry(prev, c)) {
+        if (prev.equal != c.equal) return std::nullopt;
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.eta.push_back(c);
+  }
+  return out;
+}
+
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kRel:
+      return a->rel_name() == b->rel_name();
+    case ExprKind::kEmpty:
+    case ExprKind::kUniverse:
+      return true;
+    case ExprKind::kSelect:
+      return a->select_cond() == b->select_cond() &&
+             StructurallyEqual(a->left(), b->left());
+    case ExprKind::kUnion:
+    case ExprKind::kDiff:
+      return StructurallyEqual(a->left(), b->left()) &&
+             StructurallyEqual(a->right(), b->right());
+    case ExprKind::kJoin:
+      return a->join_spec() == b->join_spec() &&
+             StructurallyEqual(a->left(), b->left()) &&
+             StructurallyEqual(a->right(), b->right());
+    case ExprKind::kStarRight:
+    case ExprKind::kStarLeft:
+      return a->join_spec() == b->join_spec() &&
+             StructurallyEqual(a->left(), b->left());
+  }
+  return false;
+}
+
+ExprPtr Optimize(const ExprPtr& e) {
+  if (e == nullptr) return e;
+  switch (e->kind()) {
+    case ExprKind::kRel:
+    case ExprKind::kEmpty:
+    case ExprKind::kUniverse:
+      return e;
+
+    case ExprKind::kSelect: {
+      ExprPtr child = Optimize(e->left());
+      std::optional<CondSet> cond = NormalizeCond(e->select_cond());
+      if (!cond.has_value()) return Expr::Empty();
+      if (cond->empty()) return child;
+      if (child->kind() == ExprKind::kEmpty) return child;
+      // Merge adjacent selections.
+      if (child->kind() == ExprKind::kSelect) {
+        CondSet merged = child->select_cond();
+        merged.theta.insert(merged.theta.end(), cond->theta.begin(),
+                            cond->theta.end());
+        merged.eta.insert(merged.eta.end(), cond->eta.begin(),
+                          cond->eta.end());
+        return Optimize(Expr::Select(child->left(), std::move(merged)));
+      }
+      // σ over ∪ distributes; over − it folds into the left side.
+      if (child->kind() == ExprKind::kUnion) {
+        return Optimize(
+            Expr::Union(Expr::Select(child->left(), *cond),
+                        Expr::Select(child->right(), *cond)));
+      }
+      if (child->kind() == ExprKind::kDiff) {
+        return Optimize(Expr::Diff(Expr::Select(child->left(), *cond),
+                                   child->right()));
+      }
+      // Pushdown into a join: remap output positions to source positions.
+      if (child->kind() == ExprKind::kJoin) {
+        JoinSpec spec = child->join_spec();
+        CondSet remapped = RemapThroughJoin(*cond, spec);
+        spec.cond.theta.insert(spec.cond.theta.end(), remapped.theta.begin(),
+                               remapped.theta.end());
+        spec.cond.eta.insert(spec.cond.eta.end(), remapped.eta.begin(),
+                             remapped.eta.end());
+        return Optimize(Expr::Join(child->left(), child->right(), spec));
+      }
+      return Expr::Select(child, *std::move(cond));
+    }
+
+    case ExprKind::kUnion: {
+      ExprPtr l = Optimize(e->left());
+      ExprPtr r = Optimize(e->right());
+      if (l->kind() == ExprKind::kEmpty) return r;
+      if (r->kind() == ExprKind::kEmpty) return l;
+      if (StructurallyEqual(l, r)) return l;
+      return Expr::Union(l, r);
+    }
+
+    case ExprKind::kDiff: {
+      ExprPtr l = Optimize(e->left());
+      ExprPtr r = Optimize(e->right());
+      if (l->kind() == ExprKind::kEmpty) return l;
+      if (r->kind() == ExprKind::kEmpty) return l;
+      if (StructurallyEqual(l, r)) return Expr::Empty();
+      return Expr::Diff(l, r);
+    }
+
+    case ExprKind::kJoin: {
+      ExprPtr l = Optimize(e->left());
+      ExprPtr r = Optimize(e->right());
+      if (l->kind() == ExprKind::kEmpty) return l;
+      if (r->kind() == ExprKind::kEmpty) return r;
+      JoinSpec spec = e->join_spec();
+      std::optional<CondSet> cond = NormalizeCond(spec.cond);
+      if (!cond.has_value()) return Expr::Empty();
+      spec.cond = *std::move(cond);
+      return Expr::Join(l, r, spec);
+    }
+
+    case ExprKind::kStarRight:
+    case ExprKind::kStarLeft: {
+      ExprPtr child = Optimize(e->left());
+      if (child->kind() == ExprKind::kEmpty) return child;
+      JoinSpec spec = e->join_spec();
+      std::optional<CondSet> cond = NormalizeCond(spec.cond);
+      if (!cond.has_value()) {
+        // The join can never fire: (e ⋈)* = e.
+        return child;
+      }
+      spec.cond = *std::move(cond);
+      return e->kind() == ExprKind::kStarRight
+                 ? Expr::StarRight(child, spec)
+                 : Expr::StarLeft(child, spec);
+    }
+  }
+  return e;
+}
+
+}  // namespace trial

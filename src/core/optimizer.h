@@ -1,0 +1,38 @@
+// Algebraic rewriter for TriAL(*) expressions.
+//
+// Semantics-preserving simplifications applied bottom-up:
+//   * condition normalization: duplicate atoms dropped, trivially-true
+//     atoms removed, directly contradictory conditions collapse the node
+//     to ∅ (e.g. {1=2, 1≠2}, or a position equated to two distinct
+//     constants);
+//   * ∅ propagation through σ, ∪, −, ⋈ and stars;
+//   * e ∪ e → e,  e − e → ∅ (structural equality);
+//   * selection pushdown: σ over a join folds its (remapped) atoms into
+//     the join condition; σ distributes over ∪ and over the left side
+//     of −; adjacent selections merge.
+//
+// All engines accept unoptimized expressions; Optimize() is an optional
+// front-end pass.  The property tests check Optimize preserves results.
+
+#ifndef TRIAL_CORE_OPTIMIZER_H_
+#define TRIAL_CORE_OPTIMIZER_H_
+
+#include <optional>
+
+#include "core/expr.h"
+
+namespace trial {
+
+/// Rewrites `e` into an equivalent, usually smaller expression.
+ExprPtr Optimize(const ExprPtr& e);
+
+/// Deep structural equality of expressions (same tree, same specs).
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b);
+
+/// Normalizes a condition: returns std::nullopt when the condition is
+/// unsatisfiable for every pair of triples; otherwise the reduced set.
+std::optional<CondSet> NormalizeCond(const CondSet& cond);
+
+}  // namespace trial
+
+#endif  // TRIAL_CORE_OPTIMIZER_H_

@@ -1,0 +1,297 @@
+// Optimized QueryComputation engine.
+//
+// Joins hash-partition on the equality atoms that connect the two sides
+// (object equalities exactly, data-value equalities by hash with exact
+// residual verification), after pushing one-sided atoms down as filters.
+// Kleene stars run semi-naive (delta) iteration — valid because the join
+// distributes over union in each argument — and are routed to the
+// Proposition 5 reachability algorithms when the join spec is one of the
+// two reachTA= shapes.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/eval.h"
+#include "core/fast_reach.h"
+#include "core/fragment.h"
+
+namespace trial {
+namespace {
+
+// Which side(s) of a join an atom reads.
+enum class Side { kNone, kLeft, kRight, kBoth };
+
+Side TermSide(const ObjTerm& t) {
+  if (!t.is_pos) return Side::kNone;
+  return IsLeftPos(t.pos) ? Side::kLeft : Side::kRight;
+}
+Side TermSide(const DataTerm& t) {
+  if (!t.is_pos) return Side::kNone;
+  return IsLeftPos(t.pos) ? Side::kLeft : Side::kRight;
+}
+
+Side Combine(Side a, Side b) {
+  if (a == Side::kNone) return b;
+  if (b == Side::kNone) return a;
+  return a == b ? a : Side::kBoth;
+}
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// A join execution plan: one-sided filters + cross equality key columns.
+struct JoinPlan {
+  struct KeyComp {
+    Pos lpos;
+    Pos rpos;
+    bool data = false;  // compare rho() values instead of objects
+  };
+  std::vector<ObjConstraint> left_theta, right_theta;
+  std::vector<DataConstraint> left_eta, right_eta;
+  std::vector<KeyComp> key;
+  bool has_residual = false;  // any atom not covered by filters+exact keys
+
+  static JoinPlan Build(const CondSet& cond) {
+    JoinPlan plan;
+    for (const ObjConstraint& c : cond.theta) {
+      Side s = Combine(TermSide(c.lhs), TermSide(c.rhs));
+      if (s == Side::kLeft || s == Side::kNone) {
+        plan.left_theta.push_back(c);
+      } else if (s == Side::kRight) {
+        plan.right_theta.push_back(c);
+      } else if (c.equal && c.lhs.is_pos && c.rhs.is_pos) {
+        // Cross equality: a hash key column (exact for objects).
+        Pos a = c.lhs.pos, b = c.rhs.pos;
+        if (!IsLeftPos(a)) std::swap(a, b);
+        plan.key.push_back({a, b, /*data=*/false});
+      } else {
+        plan.has_residual = true;  // cross inequality
+      }
+    }
+    for (const DataConstraint& c : cond.eta) {
+      Side s = Combine(TermSide(c.lhs), TermSide(c.rhs));
+      if (s == Side::kLeft || s == Side::kNone) {
+        plan.left_eta.push_back(c);
+      } else if (s == Side::kRight) {
+        plan.right_eta.push_back(c);
+      } else if (c.equal && c.lhs.is_pos && c.rhs.is_pos) {
+        Pos a = c.lhs.pos, b = c.rhs.pos;
+        if (!IsLeftPos(a)) std::swap(a, b);
+        plan.key.push_back({a, b, /*data=*/true});
+        plan.has_residual = true;  // hash keys need exact re-verification
+      } else {
+        plan.has_residual = true;
+      }
+    }
+    return plan;
+  }
+
+  bool PassesLeft(const Triple& t, const TripleStore& store) const {
+    for (const ObjConstraint& c : left_theta) {
+      if (!c.Holds(t, t)) return false;
+    }
+    for (const DataConstraint& c : left_eta) {
+      if (!c.Holds(t, t, store)) return false;
+    }
+    return true;
+  }
+  bool PassesRight(const Triple& t, const TripleStore& store) const {
+    for (const ObjConstraint& c : right_theta) {
+      if (!c.Holds(t, t)) return false;
+    }
+    for (const DataConstraint& c : right_eta) {
+      if (!c.Holds(t, t, store)) return false;
+    }
+    return true;
+  }
+
+  uint64_t KeyHashLeft(const Triple& t, const TripleStore& store) const {
+    uint64_t h = 0x12345;
+    for (const KeyComp& k : key) {
+      ObjId v = PosValue(t, t, k.lpos);
+      h = MixHash(h, k.data ? store.Value(v).Hash() : uint64_t{v} + 1);
+    }
+    return h;
+  }
+  uint64_t KeyHashRight(const Triple& t, const TripleStore& store) const {
+    uint64_t h = 0x12345;
+    for (const KeyComp& k : key) {
+      ObjId v = PosValue(t, t, k.rpos);
+      h = MixHash(h, k.data ? store.Value(v).Hash() : uint64_t{v} + 1);
+    }
+    return h;
+  }
+};
+
+using TripleHashSet = std::unordered_set<Triple, TripleHash>;
+using HashIndex = std::unordered_map<uint64_t, std::vector<Triple>>;
+
+class SmartEvaluator final : public Evaluator {
+ public:
+  explicit SmartEvaluator(EvalOptions opts) : opts_(opts) {}
+
+  Result<TripleSet> Eval(const ExprPtr& e, const TripleStore& store) override {
+    TRIAL_RETURN_IF_ERROR(ValidateExpr(e));
+    return EvalNode(*e, store);
+  }
+
+  const char* name() const override { return "smart"; }
+
+ private:
+  Result<TripleSet> EvalNode(const Expr& e, const TripleStore& store) {
+    switch (e.kind()) {
+      case ExprKind::kRel: {
+        const TripleSet* rel = store.FindRelation(e.rel_name());
+        if (rel == nullptr) {
+          return Status::NotFound("unknown relation: " + e.rel_name());
+        }
+        return *rel;
+      }
+      case ExprKind::kEmpty:
+        return TripleSet();
+      case ExprKind::kUniverse: {
+        std::vector<ObjId> objs = ActiveObjects(store);
+        size_t n = objs.size();
+        if (n * n * n > opts_.max_result_triples) {
+          return Status::ResourceExhausted("universal relation too large");
+        }
+        TripleSet out;
+        for (ObjId a : objs) {
+          for (ObjId b : objs) {
+            for (ObjId c : objs) out.Insert(a, b, c);
+          }
+        }
+        return out;
+      }
+      case ExprKind::kSelect: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet in, EvalNode(*e.left(), store));
+        TripleSet out;
+        for (const Triple& t : in) {
+          if (e.select_cond().HoldsUnary(t, store)) out.Insert(t);
+        }
+        return out;
+      }
+      case ExprKind::kUnion: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, EvalNode(*e.right(), store));
+        return TripleSet::Union(a, b);
+      }
+      case ExprKind::kDiff: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, EvalNode(*e.right(), store));
+        return TripleSet::Difference(a, b);
+      }
+      case ExprKind::kJoin: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, EvalNode(*e.left(), store));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, EvalNode(*e.right(), store));
+        return HashJoin(a, b, e.join_spec(), store);
+      }
+      case ExprKind::kStarRight: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, EvalNode(*e.left(), store));
+        if (IsReachSpecA(e.join_spec())) return StarReachAnyPath(base);
+        if (IsReachSpecB(e.join_spec())) return StarReachSameMiddle(base);
+        return SemiNaiveStar(base, e.join_spec(), /*right=*/true, store);
+      }
+      case ExprKind::kStarLeft: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, EvalNode(*e.left(), store));
+        return SemiNaiveStar(base, e.join_spec(), /*right=*/false, store);
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  // Hash join: filter both sides by their one-sided atoms, bucket the
+  // right side by the cross-equality key, probe with the left side and
+  // verify the full condition on each bucket candidate (covers hash
+  // collisions, data equalities and cross inequalities).
+  Result<TripleSet> HashJoin(const TripleSet& l, const TripleSet& r,
+                             const JoinSpec& spec, const TripleStore& store) {
+    JoinPlan plan = JoinPlan::Build(spec.cond);
+    HashIndex index;
+    for (const Triple& b : r) {
+      if (plan.PassesRight(b, store)) {
+        index[plan.KeyHashRight(b, store)].push_back(b);
+      }
+    }
+    TripleSet out;
+    size_t emitted = 0;
+    for (const Triple& a : l) {
+      if (!plan.PassesLeft(a, store)) continue;
+      auto it = index.find(plan.KeyHashLeft(a, store));
+      if (it == index.end()) continue;
+      for (const Triple& b : it->second) {
+        if (!spec.cond.Holds(a, b, store)) continue;
+        out.Insert(spec.Output(a, b));
+        if (++emitted > opts_.max_result_triples) {
+          return Status::ResourceExhausted("join result too large");
+        }
+      }
+    }
+    return out;
+  }
+
+  // Semi-naive fixpoint: only the last round's delta re-joins the fixed
+  // base.  Correct because ⋈ distributes over ∪ in each argument, so the
+  // term sequence t_{n+1} = t_n ⋈ e is covered by delta ⋈ e.
+  Result<TripleSet> SemiNaiveStar(const TripleSet& base, const JoinSpec& spec,
+                                  bool right, const TripleStore& store) {
+    JoinPlan plan = JoinPlan::Build(spec.cond);
+    // Index the fixed side once: for right stars the base is the right
+    // join argument; for left stars it is the left one.
+    HashIndex index;
+    for (const Triple& b : base) {
+      bool pass = right ? plan.PassesRight(b, store)
+                        : plan.PassesLeft(b, store);
+      if (!pass) continue;
+      uint64_t h = right ? plan.KeyHashRight(b, store)
+                         : plan.KeyHashLeft(b, store);
+      index[h].push_back(b);
+    }
+
+    TripleHashSet acc(base.begin(), base.end());
+    std::vector<Triple> delta(base.begin(), base.end());
+    std::vector<Triple> next;
+    for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
+      next.clear();
+      for (const Triple& d : delta) {
+        bool pass = right ? plan.PassesLeft(d, store)
+                          : plan.PassesRight(d, store);
+        if (!pass) continue;
+        uint64_t h = right ? plan.KeyHashLeft(d, store)
+                           : plan.KeyHashRight(d, store);
+        auto it = index.find(h);
+        if (it == index.end()) continue;
+        for (const Triple& b : it->second) {
+          const Triple& lt = right ? d : b;
+          const Triple& rt = right ? b : d;
+          if (!spec.cond.Holds(lt, rt, store)) continue;
+          Triple o = spec.Output(lt, rt);
+          if (acc.insert(o).second) {
+            next.push_back(o);
+            if (acc.size() > opts_.max_result_triples) {
+              return Status::ResourceExhausted("star result too large");
+            }
+          }
+        }
+      }
+      if (next.empty()) {
+        std::vector<Triple> v(acc.begin(), acc.end());
+        return TripleSet(std::move(v));
+      }
+      delta.swap(next);
+    }
+    return Status::ResourceExhausted("star fixpoint exceeded round limit");
+  }
+
+  EvalOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Evaluator> MakeSmartEvaluator(EvalOptions opts) {
+  return std::make_unique<SmartEvaluator>(opts);
+}
+
+}  // namespace trial

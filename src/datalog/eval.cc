@@ -1,0 +1,278 @@
+#include "datalog/eval.h"
+
+#include <optional>
+#include <vector>
+
+#include "core/eval.h"
+#include "datalog/analysis.h"
+
+namespace trial {
+namespace datalog {
+namespace {
+
+// A small variable environment (few variables per rule).
+class Env {
+ public:
+  std::optional<ObjId> Get(const std::string& var) const {
+    for (const auto& [name, val] : bindings_) {
+      if (name == var) return val;
+    }
+    return std::nullopt;
+  }
+  void Set(const std::string& var, ObjId val) {
+    bindings_.emplace_back(var, val);
+  }
+  size_t Mark() const { return bindings_.size(); }
+  void Rewind(size_t mark) { bindings_.resize(mark); }
+
+ private:
+  std::vector<std::pair<std::string, ObjId>> bindings_;
+};
+
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const TripleStore& store,
+                const std::map<std::string, TripleSet>& idb,
+                const DatalogOptions& opts)
+      : store_(store), idb_(idb), opts_(opts),
+        adom_(ActiveObjects(store)) {}
+
+  // Evaluates one rule, inserting derived head triples into `out`.
+  Status EvalRule(const Rule& rule, TripleSet* out) {
+    rule_ = &rule;
+    out_ = out;
+    positive_.clear();
+    deferred_.clear();
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kAtom && l.positive) {
+        positive_.push_back(&l);
+      } else {
+        deferred_.push_back(&l);
+      }
+    }
+    Env env;
+    return MatchPositive(0, &env);
+  }
+
+ private:
+  // Resolves a term to an object id under `env`; nullopt when the term
+  // is an unbound variable or an unknown constant.
+  std::optional<ObjId> Resolve(const Term& t, const Env& env) const {
+    if (t.is_var) return env.Get(t.name);
+    ObjId id = store_.FindObject(t.name);
+    if (id == kInvalidIntern) return std::nullopt;
+    return id;
+  }
+
+  const TripleSet* RelationOf(const std::string& pred, Status* st) const {
+    auto it = idb_.find(pred);
+    if (it != idb_.end()) return &it->second;
+    const TripleSet* rel = store_.FindRelation(pred);
+    if (rel == nullptr) {
+      *st = Status::NotFound("unknown predicate: " + pred);
+    }
+    return rel;
+  }
+
+  // Unifies atom args with a triple; extends env on success.
+  bool Unify(const Atom& atom, const Triple& t, Env* env) const {
+    size_t mark = env->Mark();
+    for (int i = 0; i < 3; ++i) {
+      ObjId val = t[i];
+      const Term& term = atom.args[i];
+      if (term.is_var) {
+        std::optional<ObjId> bound = env->Get(term.name);
+        if (bound.has_value()) {
+          if (*bound != val) {
+            env->Rewind(mark);
+            return false;
+          }
+        } else {
+          env->Set(term.name, val);
+        }
+      } else {
+        ObjId c = store_.FindObject(term.name);
+        if (c == kInvalidIntern || c != val) {
+          env->Rewind(mark);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  Status MatchPositive(size_t i, Env* env) {
+    if (i == positive_.size()) return BindFree(env);
+    const Atom& atom = positive_[i]->atom;
+    Status st = Status::OK();
+    const TripleSet* rel = RelationOf(atom.pred, &st);
+    if (rel == nullptr) return st;
+    for (const Triple& t : *rel) {
+      size_t mark = env->Mark();
+      if (Unify(atom, t, env)) {
+        TRIAL_RETURN_IF_ERROR(MatchPositive(i + 1, env));
+      }
+      env->Rewind(mark);
+    }
+    return Status::OK();
+  }
+
+  // Variables used in the head or in deferred literals but not bound by
+  // positive atoms range over the active domain (the complement / U
+  // semantics of Section 3).
+  Status BindFree(Env* env) {
+    std::vector<std::string> free;
+    auto note = [&](const Term& t) {
+      if (t.is_var && !env->Get(t.name).has_value()) {
+        for (const std::string& f : free) {
+          if (f == t.name) return;
+        }
+        free.push_back(t.name);
+      }
+    };
+    for (const Term& t : rule_->head.args) note(t);
+    for (const Literal* l : deferred_) {
+      if (l->kind == Literal::Kind::kAtom) {
+        for (const Term& t : l->atom.args) note(t);
+      } else {
+        note(l->lhs);
+        note(l->rhs);
+      }
+    }
+    return EnumerateFree(free, 0, env);
+  }
+
+  Status EnumerateFree(const std::vector<std::string>& free, size_t i,
+                       Env* env) {
+    if (i == free.size()) return CheckDeferredAndEmit(env);
+    for (ObjId o : adom_) {
+      size_t mark = env->Mark();
+      env->Set(free[i], o);
+      TRIAL_RETURN_IF_ERROR(EnumerateFree(free, i + 1, env));
+      env->Rewind(mark);
+    }
+    return Status::OK();
+  }
+
+  Status CheckDeferredAndEmit(Env* env) {
+    for (const Literal* l : deferred_) {
+      switch (l->kind) {
+        case Literal::Kind::kAtom: {
+          Status st = Status::OK();
+          const TripleSet* rel = RelationOf(l->atom.pred, &st);
+          if (rel == nullptr) return st;
+          std::optional<ObjId> a = Resolve(l->atom.args[0], *env);
+          std::optional<ObjId> b = Resolve(l->atom.args[1], *env);
+          std::optional<ObjId> c = Resolve(l->atom.args[2], *env);
+          bool in = a && b && c && rel->Contains(Triple{*a, *b, *c});
+          if (in == l->positive) continue;  // negated: must NOT hold
+          if (l->positive) continue;
+          return Status::OK();  // unreachable; for clarity below
+        }
+        case Literal::Kind::kSim: {
+          std::optional<ObjId> a = Resolve(l->lhs, *env);
+          std::optional<ObjId> b = Resolve(l->rhs, *env);
+          if (!a || !b) return Status::OK();  // unknown constant: no match
+          bool same = store_.SameValue(*a, *b);
+          if (same != l->positive) return Status::OK();
+          continue;
+        }
+        case Literal::Kind::kEq: {
+          std::optional<ObjId> a = Resolve(l->lhs, *env);
+          std::optional<ObjId> b = Resolve(l->rhs, *env);
+          if (!a || !b) {
+            // Unknown constant: an equality can never hold; an
+            // inequality trivially holds when the other side is known.
+            if (l->positive) return Status::OK();
+            if (!a && !b) return Status::OK();
+            continue;
+          }
+          bool eq = *a == *b;
+          if (eq != l->positive) return Status::OK();
+          continue;
+        }
+      }
+    }
+    // All deferred literals passed; emit the head.
+    Triple t;
+    for (int i = 0; i < 3; ++i) {
+      std::optional<ObjId> v = Resolve(rule_->head.args[i], *env);
+      if (!v.has_value()) {
+        return Status::InvalidArgument("head constant not in store: " +
+                                       rule_->head.args[i].name);
+      }
+      if (i == 0) t.s = *v;
+      if (i == 1) t.p = *v;
+      if (i == 2) t.o = *v;
+    }
+    out_->Insert(t);
+    return Status::OK();
+  }
+
+  const TripleStore& store_;
+  const std::map<std::string, TripleSet>& idb_;
+  const DatalogOptions& opts_;
+  std::vector<ObjId> adom_;
+  const Rule* rule_ = nullptr;
+  TripleSet* out_ = nullptr;
+  std::vector<const Literal*> positive_;
+  std::vector<const Literal*> deferred_;
+};
+
+}  // namespace
+
+Result<std::map<std::string, TripleSet>> EvalProgramAll(
+    const Program& program, const TripleStore& store,
+    const DatalogOptions& opts) {
+  TRIAL_ASSIGN_OR_RETURN(ProgramInfo info, AnalyzeProgram(program));
+  std::map<std::string, TripleSet> idb;
+  for (const std::string& pred : info.eval_order) {
+    const std::vector<size_t>& rule_idx = info.rules_of[pred];
+    if (info.recursive_preds.count(pred) == 0) {
+      TripleSet value;
+      RuleEvaluator ev(store, idb, opts);
+      for (size_t i : rule_idx) {
+        TRIAL_RETURN_IF_ERROR(ev.EvalRule(program.rules[i], &value));
+      }
+      if (value.size() > opts.max_derived_triples) {
+        return Status::ResourceExhausted("predicate " + pred + " too large");
+      }
+      idb.emplace(pred, std::move(value));
+    } else {
+      // Least fixpoint: iterate the predicate's rules until saturation.
+      idb.emplace(pred, TripleSet());
+      for (size_t round = 0;; ++round) {
+        if (round >= opts.max_fixpoint_rounds) {
+          return Status::ResourceExhausted("fixpoint exceeded round limit");
+        }
+        TripleSet value;
+        RuleEvaluator ev(store, idb, opts);
+        for (size_t i : rule_idx) {
+          TRIAL_RETURN_IF_ERROR(ev.EvalRule(program.rules[i], &value));
+        }
+        if (value.size() > opts.max_derived_triples) {
+          return Status::ResourceExhausted("predicate " + pred +
+                                           " too large");
+        }
+        TripleSet merged = TripleSet::Union(idb.at(pred), value);
+        if (merged.size() == idb.at(pred).size()) break;
+        idb[pred] = std::move(merged);
+      }
+    }
+  }
+  return idb;
+}
+
+Result<TripleSet> EvalProgram(const Program& program, const TripleStore& store,
+                              const std::string& answer_pred,
+                              const DatalogOptions& opts) {
+  TRIAL_ASSIGN_OR_RETURN(auto all, EvalProgramAll(program, store, opts));
+  auto it = all.find(answer_pred);
+  if (it == all.end()) {
+    return Status::NotFound("program does not define " + answer_pred);
+  }
+  return it->second;
+}
+
+}  // namespace datalog
+}  // namespace trial

@@ -1,0 +1,43 @@
+// Direct (bottom-up) evaluation of TripleDatalog¬ / ReachTripleDatalog¬
+// programs over a triplestore.
+//
+// Predicates are computed in dependency order; recursive predicates are
+// saturated by fixpoint iteration (least-fixpoint semantics, Section 4).
+// Negated atoms use the active-domain complement — the same U that the
+// algebra's complement is defined against — and variables bound only by
+// negated literals range over the active domain.
+
+#ifndef TRIAL_DATALOG_EVAL_H_
+#define TRIAL_DATALOG_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "datalog/ast.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+namespace datalog {
+
+/// Evaluation limits.
+struct DatalogOptions {
+  size_t max_derived_triples = 50'000'000;
+  size_t max_fixpoint_rounds = 10'000'000;
+};
+
+/// Evaluates the program; returns the value of `answer_pred`.
+Result<TripleSet> EvalProgram(const Program& program,
+                              const TripleStore& store,
+                              const std::string& answer_pred = "ans",
+                              const DatalogOptions& opts = {});
+
+/// Evaluates the program; returns all IDB predicate values.
+Result<std::map<std::string, TripleSet>> EvalProgramAll(
+    const Program& program, const TripleStore& store,
+    const DatalogOptions& opts = {});
+
+}  // namespace datalog
+}  // namespace trial
+
+#endif  // TRIAL_DATALOG_EVAL_H_

@@ -1,0 +1,274 @@
+#include "datalog/from_trial.h"
+
+#include <map>
+
+#include "storage/triple_store.h"
+
+namespace trial {
+namespace datalog {
+namespace {
+
+const char* kLeftVars[3] = {"V1", "V2", "V3"};
+const char* kRightVars[3] = {"W1", "W2", "W3"};
+
+Term VarOfPos(Pos p) {
+  int idx = PosIndex(p);
+  return Term::Var(idx < 3 ? kLeftVars[idx] : kRightVars[idx - 3]);
+}
+
+Atom MakeAtom(const std::string& pred, Term a, Term b, Term c) {
+  Atom atom;
+  atom.pred = pred;
+  atom.args = {std::move(a), std::move(b), std::move(c)};
+  return atom;
+}
+
+Atom VarAtom(const std::string& pred, const char* const vars[3]) {
+  return MakeAtom(pred, Term::Var(vars[0]), Term::Var(vars[1]),
+                  Term::Var(vars[2]));
+}
+
+Literal PositiveAtom(Atom a) {
+  Literal l;
+  l.kind = Literal::Kind::kAtom;
+  l.positive = true;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal NegatedAtom(Atom a) {
+  Literal l = PositiveAtom(std::move(a));
+  l.positive = false;
+  return l;
+}
+
+class Translator {
+ public:
+  explicit Translator(const TripleStore& store) : store_(store) {}
+
+  Result<DatalogTranslation> Run(const ExprPtr& e) {
+    TRIAL_ASSIGN_OR_RETURN(std::string ans, Build(e));
+    DatalogTranslation out;
+    out.program = std::move(program_);
+    out.answer_pred = std::move(ans);
+    return out;
+  }
+
+ private:
+  std::string Fresh(const char* hint) {
+    return std::string("p") + std::to_string(counter_++) + "_" + hint;
+  }
+
+  Status CondToLiterals(const CondSet& cond, std::vector<Literal>* body) {
+    for (const ObjConstraint& c : cond.theta) {
+      Literal l;
+      l.kind = Literal::Kind::kEq;
+      l.positive = c.equal;
+      TRIAL_ASSIGN_OR_RETURN(l.lhs, TermOf(c.lhs));
+      TRIAL_ASSIGN_OR_RETURN(l.rhs, TermOf(c.rhs));
+      body->push_back(std::move(l));
+    }
+    for (const DataConstraint& c : cond.eta) {
+      if (!c.lhs.is_pos || !c.rhs.is_pos) {
+        return Status::Unimplemented(
+            "η comparisons with data-value constants have no TripleDatalog "
+            "counterpart (the paper's translation assumes none)");
+      }
+      Literal l;
+      l.kind = Literal::Kind::kSim;
+      l.positive = c.equal;
+      l.lhs = VarOfPos(c.lhs.pos);
+      l.rhs = VarOfPos(c.rhs.pos);
+      body->push_back(std::move(l));
+    }
+    return Status::OK();
+  }
+
+  Result<Term> TermOf(const ObjTerm& t) {
+    if (t.is_pos) return VarOfPos(t.pos);
+    if (t.constant >= store_.NumObjects()) {
+      return Status::InvalidArgument("condition constant outside the store");
+    }
+    return Term::Const(std::string(store_.ObjectName(t.constant)));
+  }
+
+  // Emits the paper's occurs-trick expansion of U and returns the name
+  // of a predicate holding {(o,o,o) : o occurs in some triple}.
+  Result<std::string> OccPred() {
+    if (!occ_pred_.empty()) return occ_pred_;
+    if (store_.NumRelations() == 0) {
+      return Status::InvalidArgument(
+          "U over a store with no relations is empty; add a relation");
+    }
+    occ_pred_ = Fresh("occ");
+    for (RelId r = 0; r < store_.NumRelations(); ++r) {
+      std::string rel(store_.RelationName(r));
+      for (int pos = 0; pos < 3; ++pos) {
+        Rule rule;
+        Term v = Term::Var(kLeftVars[pos]);
+        rule.head = MakeAtom(occ_pred_, v, v, v);
+        rule.body.push_back(PositiveAtom(VarAtom(rel, kLeftVars)));
+        rule.body.push_back(PositiveAtom(VarAtom(rel, kLeftVars)));
+        program_.rules.push_back(std::move(rule));
+      }
+    }
+    return occ_pred_;
+  }
+
+  Result<std::string> UniversePred() {
+    if (!universe_pred_.empty()) return universe_pred_;
+    TRIAL_ASSIGN_OR_RETURN(std::string occ, OccPred());
+    std::string pair = Fresh("upair");
+    {
+      // pair(X, Y, Y) ← occ(X,X,X), occ(Y,Y,Y).
+      Rule rule;
+      rule.head = MakeAtom(pair, Term::Var("X"), Term::Var("Y"),
+                           Term::Var("Y"));
+      rule.body.push_back(PositiveAtom(
+          MakeAtom(occ, Term::Var("X"), Term::Var("X"), Term::Var("X"))));
+      rule.body.push_back(PositiveAtom(
+          MakeAtom(occ, Term::Var("Y"), Term::Var("Y"), Term::Var("Y"))));
+      program_.rules.push_back(std::move(rule));
+    }
+    universe_pred_ = Fresh("univ");
+    {
+      // U(X, Y, Z) ← pair(X,Y,Y), occ(Z,Z,Z).
+      Rule rule;
+      rule.head = MakeAtom(universe_pred_, Term::Var("X"), Term::Var("Y"),
+                           Term::Var("Z"));
+      rule.body.push_back(PositiveAtom(
+          MakeAtom(pair, Term::Var("X"), Term::Var("Y"), Term::Var("Y"))));
+      rule.body.push_back(PositiveAtom(
+          MakeAtom(occ, Term::Var("Z"), Term::Var("Z"), Term::Var("Z"))));
+      program_.rules.push_back(std::move(rule));
+    }
+    return universe_pred_;
+  }
+
+  // Copy rule: dst(V1,V2,V3) ← src(V1,V2,V3).
+  void EmitCopy(const std::string& dst, const std::string& src) {
+    Rule rule;
+    rule.head = VarAtom(dst, kLeftVars);
+    rule.body.push_back(PositiveAtom(VarAtom(src, kLeftVars)));
+    program_.rules.push_back(std::move(rule));
+  }
+
+  Result<std::string> Build(const ExprPtr& e) {
+    switch (e->kind()) {
+      case ExprKind::kRel: {
+        if (store_.FindRelation(e->rel_name()) == nullptr) {
+          return Status::NotFound("unknown relation: " + e->rel_name());
+        }
+        std::string p = Fresh("rel");
+        EmitCopy(p, e->rel_name());
+        return p;
+      }
+      case ExprKind::kEmpty: {
+        if (store_.NumRelations() == 0) {
+          return Status::InvalidArgument(
+              "cannot ground the empty relation in a store without "
+              "relations");
+        }
+        std::string p = Fresh("empty");
+        Rule rule;
+        rule.head = VarAtom(p, kLeftVars);
+        rule.body.push_back(PositiveAtom(
+            VarAtom(std::string(store_.RelationName(0)), kLeftVars)));
+        Literal never;
+        never.kind = Literal::Kind::kEq;
+        never.positive = false;
+        never.lhs = Term::Var("V1");
+        never.rhs = Term::Var("V1");
+        rule.body.push_back(std::move(never));
+        program_.rules.push_back(std::move(rule));
+        return p;
+      }
+      case ExprKind::kUniverse:
+        return UniversePred();
+      case ExprKind::kSelect: {
+        TRIAL_ASSIGN_OR_RETURN(std::string c, Build(e->left()));
+        std::string p = Fresh("sel");
+        Rule rule;
+        rule.head = VarAtom(p, kLeftVars);
+        rule.body.push_back(PositiveAtom(VarAtom(c, kLeftVars)));
+        rule.body.push_back(PositiveAtom(VarAtom(c, kLeftVars)));
+        TRIAL_RETURN_IF_ERROR(CondToLiterals(e->select_cond(), &rule.body));
+        program_.rules.push_back(std::move(rule));
+        return p;
+      }
+      case ExprKind::kUnion: {
+        TRIAL_ASSIGN_OR_RETURN(std::string a, Build(e->left()));
+        TRIAL_ASSIGN_OR_RETURN(std::string b, Build(e->right()));
+        std::string p = Fresh("union");
+        EmitCopy(p, a);
+        EmitCopy(p, b);
+        return p;
+      }
+      case ExprKind::kDiff: {
+        TRIAL_ASSIGN_OR_RETURN(std::string a, Build(e->left()));
+        TRIAL_ASSIGN_OR_RETURN(std::string b, Build(e->right()));
+        std::string p = Fresh("diff");
+        Rule rule;
+        rule.head = VarAtom(p, kLeftVars);
+        rule.body.push_back(PositiveAtom(VarAtom(a, kLeftVars)));
+        rule.body.push_back(NegatedAtom(VarAtom(b, kLeftVars)));
+        program_.rules.push_back(std::move(rule));
+        return p;
+      }
+      case ExprKind::kJoin: {
+        TRIAL_ASSIGN_OR_RETURN(std::string a, Build(e->left()));
+        TRIAL_ASSIGN_OR_RETURN(std::string b, Build(e->right()));
+        std::string p = Fresh("join");
+        Rule rule;
+        const JoinSpec& spec = e->join_spec();
+        rule.head = MakeAtom(p, VarOfPos(spec.out[0]), VarOfPos(spec.out[1]),
+                             VarOfPos(spec.out[2]));
+        rule.body.push_back(PositiveAtom(VarAtom(a, kLeftVars)));
+        rule.body.push_back(PositiveAtom(VarAtom(b, kRightVars)));
+        TRIAL_RETURN_IF_ERROR(CondToLiterals(spec.cond, &rule.body));
+        program_.rules.push_back(std::move(rule));
+        return p;
+      }
+      case ExprKind::kStarRight:
+      case ExprKind::kStarLeft: {
+        TRIAL_ASSIGN_OR_RETURN(std::string c, Build(e->left()));
+        std::string s = Fresh("star");
+        // Base: S(x̄) ← R(x̄).
+        EmitCopy(s, c);
+        // Step: S(out) ← S(...), R(...)  or  S(out) ← R(...), S(...).
+        Rule rule;
+        const JoinSpec& spec = e->join_spec();
+        rule.head = MakeAtom(s, VarOfPos(spec.out[0]), VarOfPos(spec.out[1]),
+                             VarOfPos(spec.out[2]));
+        if (e->kind() == ExprKind::kStarRight) {
+          rule.body.push_back(PositiveAtom(VarAtom(s, kLeftVars)));
+          rule.body.push_back(PositiveAtom(VarAtom(c, kRightVars)));
+        } else {
+          rule.body.push_back(PositiveAtom(VarAtom(c, kLeftVars)));
+          rule.body.push_back(PositiveAtom(VarAtom(s, kRightVars)));
+        }
+        TRIAL_RETURN_IF_ERROR(CondToLiterals(spec.cond, &rule.body));
+        program_.rules.push_back(std::move(rule));
+        return s;
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  const TripleStore& store_;
+  Program program_;
+  std::string occ_pred_;
+  std::string universe_pred_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<DatalogTranslation> TriALToDatalog(const ExprPtr& e,
+                                          const TripleStore& store) {
+  Translator t(store);
+  return t.Run(e);
+}
+
+}  // namespace datalog
+}  // namespace trial

@@ -1,0 +1,43 @@
+// Algebra → Datalog direction of the capturing theorems: compiles a
+// TriAL expression into a nonrecursive TripleDatalog¬ program
+// (Proposition 2) and a TriAL* expression into a ReachTripleDatalog¬
+// program (Theorem 2).
+//
+// One fresh predicate is introduced per expression node, so the program
+// is linear in |e|.  The universal relation U is expanded with the
+// paper's occurs-in-a-triple trick over the store's relation names.
+// Limitation (shared with the paper's proof, which "assumes no
+// comparisons with constants" in η): data-value constants in η are not
+// translatable, because ∼ literals relate objects, not raw values.
+
+#ifndef TRIAL_DATALOG_FROM_TRIAL_H_
+#define TRIAL_DATALOG_FROM_TRIAL_H_
+
+#include <string>
+
+#include "core/expr.h"
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace trial {
+
+class TripleStore;
+
+namespace datalog {
+
+/// Result of TriALToDatalog: a program whose `answer_pred` computes the
+/// same set of triples as the source expression.
+struct DatalogTranslation {
+  Program program;
+  std::string answer_pred;
+};
+
+/// Compiles an expression into a Datalog program over the store's
+/// relation names.
+Result<DatalogTranslation> TriALToDatalog(const ExprPtr& e,
+                                          const TripleStore& store);
+
+}  // namespace datalog
+}  // namespace trial
+
+#endif  // TRIAL_DATALOG_FROM_TRIAL_H_

@@ -1,0 +1,207 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+namespace trial {
+namespace datalog {
+namespace {
+
+struct Lexer {
+  std::string_view text;
+  size_t pos = 0;
+  size_t line = 1;
+
+  void SkipWs() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '%' || c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos >= text.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(std::string_view tok) {
+    SkipWs();
+    if (text.substr(pos, tok.size()) == tok) {
+      pos += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view tok) {
+    if (!Consume(tok)) {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": expected '" + std::string(tok) + "'");
+    }
+    return Status::OK();
+  }
+
+  // Identifier: [A-Za-z_][A-Za-z0-9_]*
+  bool Ident(std::string* out) {
+    SkipWs();
+    size_t start = pos;
+    if (pos < text.size() &&
+        (std::isalpha(static_cast<unsigned char>(text[pos])) ||
+         text[pos] == '_')) {
+      ++pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        ++pos;
+      }
+      *out = std::string(text.substr(start, pos - start));
+      return true;
+    }
+    return false;
+  }
+
+  Status Quoted(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": expected quoted constant");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\n') {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": unterminated string");
+      }
+      out->push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": unterminated string");
+    }
+    ++pos;
+    return Status::OK();
+  }
+};
+
+bool IsVarName(const std::string& name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) ||
+          name[0] == '_');
+}
+
+Status ParseTerm(Lexer* lex, Term* out) {
+  if (lex->Peek() == '"') {
+    std::string s;
+    TRIAL_RETURN_IF_ERROR(lex->Quoted(&s));
+    *out = Term::Const(std::move(s));
+    return Status::OK();
+  }
+  std::string id;
+  if (!lex->Ident(&id)) {
+    return Status::InvalidArgument("line " + std::to_string(lex->line) +
+                                   ": expected term");
+  }
+  *out = IsVarName(id) ? Term::Var(std::move(id)) : Term::Const(std::move(id));
+  return Status::OK();
+}
+
+Status ParseAtom(Lexer* lex, const std::string& pred, Atom* out) {
+  out->pred = pred;
+  out->args.clear();
+  TRIAL_RETURN_IF_ERROR(lex->Expect("("));
+  while (true) {
+    Term t;
+    TRIAL_RETURN_IF_ERROR(ParseTerm(lex, &t));
+    out->args.push_back(std::move(t));
+    if (lex->Consume(")")) break;
+    TRIAL_RETURN_IF_ERROR(lex->Expect(","));
+  }
+  return Status::OK();
+}
+
+Status ParseLiteral(Lexer* lex, Literal* out) {
+  bool negated = false;
+  if (lex->Consume("not ") || lex->Consume("not\t")) {
+    negated = true;
+  } else if (lex->Peek() == '!' &&
+             lex->text.substr(lex->pos, 2) != "!=") {
+    lex->Consume("!");
+    negated = true;
+  }
+  if (lex->Consume("~")) {
+    out->kind = Literal::Kind::kSim;
+    out->positive = !negated;
+    TRIAL_RETURN_IF_ERROR(lex->Expect("("));
+    TRIAL_RETURN_IF_ERROR(ParseTerm(lex, &out->lhs));
+    TRIAL_RETURN_IF_ERROR(lex->Expect(","));
+    TRIAL_RETURN_IF_ERROR(ParseTerm(lex, &out->rhs));
+    return lex->Expect(")");
+  }
+  // Either a relational atom or an (in)equality starting with a term.
+  Term first;
+  TRIAL_RETURN_IF_ERROR(ParseTerm(lex, &first));
+  if (!negated && lex->Peek() != '(') {
+    out->kind = Literal::Kind::kEq;
+    out->lhs = std::move(first);
+    if (lex->Consume("!=")) {
+      out->positive = false;
+    } else if (lex->Consume("=")) {
+      out->positive = true;
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(lex->line) +
+                                     ": expected '=' or '!='");
+    }
+    return ParseTerm(lex, &out->rhs);
+  }
+  if (first.is_var && lex->Peek() != '(') {
+    return Status::InvalidArgument("line " + std::to_string(lex->line) +
+                                   ": negated term must be an atom");
+  }
+  out->kind = Literal::Kind::kAtom;
+  out->positive = !negated;
+  return ParseAtom(lex, first.name, &out->atom);
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  Lexer lex{text};
+  Program prog;
+  while (!lex.AtEnd()) {
+    Rule rule;
+    std::string pred;
+    if (!lex.Ident(&pred)) {
+      return Status::InvalidArgument("line " + std::to_string(lex.line) +
+                                     ": expected rule head");
+    }
+    TRIAL_RETURN_IF_ERROR(ParseAtom(&lex, pred, &rule.head));
+    if (lex.Consume(":-") || lex.Consume("<-")) {
+      while (true) {
+        Literal lit;
+        TRIAL_RETURN_IF_ERROR(ParseLiteral(&lex, &lit));
+        rule.body.push_back(std::move(lit));
+        if (!lex.Consume(",")) break;
+      }
+    }
+    TRIAL_RETURN_IF_ERROR(lex.Expect("."));
+    prog.rules.push_back(std::move(rule));
+  }
+  return prog;
+}
+
+}  // namespace datalog
+}  // namespace trial

@@ -1,0 +1,29 @@
+// Text syntax for TripleDatalog¬ / ReachTripleDatalog¬ programs.
+//
+//   ans(X, Y, Z)  :- E(X, Y, Z).
+//   ans(X, Y, Zp) :- ans(X, Y, Z), E(Z2, P, Zp), Z = Z2, ~(Y, P), X != Zp.
+//   big(X, X, X)  :- E(X, Y, Z), not E(Z, Y, X).
+//
+// Conventions: identifiers starting with an uppercase letter or '_' are
+// variables; all other identifiers and "quoted strings" are object
+// constants.  `not` negates relational and ∼ literals.  `%` or `#` start
+// a comment.  Rules end with '.'; `:-` may be written `<-`.
+
+#ifndef TRIAL_DATALOG_PARSER_H_
+#define TRIAL_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace trial {
+namespace datalog {
+
+/// Parses a program.  Errors carry a line number.
+Result<Program> ParseProgram(std::string_view text);
+
+}  // namespace datalog
+}  // namespace trial
+
+#endif  // TRIAL_DATALOG_PARSER_H_

@@ -1,0 +1,34 @@
+// Datalog → algebra direction of the capturing theorems: compiles a
+// TripleDatalog¬ program into a TriAL expression (Proposition 2) and a
+// ReachTripleDatalog¬ program into a TriAL* expression (Theorem 2).
+//
+// The translation is linear in the program size (Corollary 1 relies on
+// this).  A triplestore is needed to resolve object constants appearing
+// in rules to object ids.
+
+#ifndef TRIAL_DATALOG_TO_TRIAL_H_
+#define TRIAL_DATALOG_TO_TRIAL_H_
+
+#include <string>
+
+#include "core/expr.h"
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace trial {
+
+class TripleStore;
+
+namespace datalog {
+
+/// Compiles `program` into a TriAL(*) expression computing `answer_pred`.
+/// Errors: kInvalidArgument for programs outside ReachTripleDatalog¬
+/// (e.g. mutual recursion, unsafe rules).
+Result<ExprPtr> ProgramToTriAL(const Program& program,
+                               const TripleStore& store,
+                               const std::string& answer_pred = "ans");
+
+}  // namespace datalog
+}  // namespace trial
+
+#endif  // TRIAL_DATALOG_TO_TRIAL_H_

@@ -1,0 +1,437 @@
+#include "fo/fo_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "core/eval.h"
+
+namespace trial {
+namespace {
+
+class FoEvaluator {
+ public:
+  FoEvaluator(const TripleStore& store, const FoEvalOptions& opts)
+      : store_(store), opts_(opts), adom_(ActiveObjects(store)) {}
+
+  Result<FoRelation> Eval(const FoFormula& f) {
+    switch (f.kind()) {
+      case FoFormula::Kind::kAtom:
+        return EvalAtom(f);
+      case FoFormula::Kind::kSim:
+      case FoFormula::Kind::kEq:
+        return EvalBinary(f);
+      case FoFormula::Kind::kNot: {
+        TRIAL_ASSIGN_OR_RETURN(FoRelation a, Eval(*f.a()));
+        return Complement(a);
+      }
+      case FoFormula::Kind::kAnd: {
+        TRIAL_ASSIGN_OR_RETURN(FoRelation a, Eval(*f.a()));
+        TRIAL_ASSIGN_OR_RETURN(FoRelation b, Eval(*f.b()));
+        return NaturalJoin(a, b);
+      }
+      case FoFormula::Kind::kOr: {
+        TRIAL_ASSIGN_OR_RETURN(FoRelation a, Eval(*f.a()));
+        TRIAL_ASSIGN_OR_RETURN(FoRelation b, Eval(*f.b()));
+        std::vector<int> vars = UnionVars(a.vars, b.vars);
+        TRIAL_ASSIGN_OR_RETURN(FoRelation ea, Extend(a, vars));
+        TRIAL_ASSIGN_OR_RETURN(FoRelation eb, Extend(b, vars));
+        ea.rows.insert(eb.rows.begin(), eb.rows.end());
+        return ea;
+      }
+      case FoFormula::Kind::kExists: {
+        TRIAL_ASSIGN_OR_RETURN(FoRelation a, Eval(*f.a()));
+        return Project(a, f.quant_var());
+      }
+      case FoFormula::Kind::kTrCl:
+        return EvalTrCl(f);
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+  const std::vector<ObjId>& adom() const { return adom_; }
+
+  // Extends `r` to the variable set `vars` (superset): missing columns
+  // range over the active domain.
+  Result<FoRelation> Extend(const FoRelation& r,
+                            const std::vector<int>& vars) {
+    if (r.vars == vars) return r;
+    std::vector<int> missing;
+    for (int v : vars) {
+      if (!std::binary_search(r.vars.begin(), r.vars.end(), v)) {
+        missing.push_back(v);
+      }
+    }
+    FoRelation out;
+    out.vars = vars;
+    if (!missing.empty() && adom_.empty()) return out;  // no extensions
+    std::vector<size_t> src_col(vars.size());
+    std::vector<int> miss_idx(vars.size(), -1);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      auto it = std::lower_bound(r.vars.begin(), r.vars.end(), vars[i]);
+      if (it != r.vars.end() && *it == vars[i]) {
+        src_col[i] = static_cast<size_t>(it - r.vars.begin());
+      } else {
+        miss_idx[i] = static_cast<int>(
+            std::find(missing.begin(), missing.end(), vars[i]) -
+            missing.begin());
+      }
+    }
+    // Enumerate adom^|missing| per row.
+    std::vector<size_t> counter(missing.size(), 0);
+    for (const std::vector<ObjId>& row : r.rows) {
+      std::fill(counter.begin(), counter.end(), 0);
+      while (true) {
+        std::vector<ObjId> out_row(vars.size());
+        for (size_t i = 0; i < vars.size(); ++i) {
+          out_row[i] = miss_idx[i] < 0 ? row[src_col[i]]
+                                       : adom_[counter[miss_idx[i]]];
+        }
+        out.rows.insert(std::move(out_row));
+        if (out.rows.size() > opts_.max_rows) {
+          return Status::ResourceExhausted("FO relation too large");
+        }
+        // Increment the mixed-radix counter.
+        size_t d = 0;
+        for (; d < counter.size(); ++d) {
+          if (++counter[d] < adom_.size()) break;
+          counter[d] = 0;
+        }
+        if (d == counter.size()) break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::optional<ObjId> ConstVal(const FoTerm& t) const {
+    return t.is_var ? std::nullopt : std::make_optional(t.constant);
+  }
+
+  Result<FoRelation> EvalAtom(const FoFormula& f) {
+    const TripleSet* rel = store_.FindRelation(f.rel());
+    if (rel == nullptr) return Status::NotFound("unknown relation " + f.rel());
+    FoRelation out;
+    std::set<int> var_set;
+    for (const FoTerm& t : f.terms()) {
+      if (t.is_var) var_set.insert(t.var);
+    }
+    out.vars.assign(var_set.begin(), var_set.end());
+    for (const Triple& tr : *rel) {
+      ObjId vals[3] = {tr.s, tr.p, tr.o};
+      std::map<int, ObjId> env;
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        const FoTerm& t = f.terms()[i];
+        if (t.is_var) {
+          auto [it, inserted] = env.emplace(t.var, vals[i]);
+          if (!inserted && it->second != vals[i]) ok = false;
+        } else if (t.constant != vals[i]) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      std::vector<ObjId> row;
+      for (int v : out.vars) row.push_back(env.at(v));
+      out.rows.insert(std::move(row));
+    }
+    return out;
+  }
+
+  Result<FoRelation> EvalBinary(const FoFormula& f) {
+    bool sim = f.kind() == FoFormula::Kind::kSim;
+    const FoTerm& a = f.terms()[0];
+    const FoTerm& b = f.terms()[1];
+    auto holds = [&](ObjId x, ObjId y) {
+      return sim ? store_.SameValue(x, y) : x == y;
+    };
+    FoRelation out;
+    if (a.is_var && b.is_var) {
+      if (a.var == b.var) {
+        out.vars = {a.var};
+        for (ObjId o : adom_) {
+          if (holds(o, o)) out.rows.insert({o});
+        }
+        return out;
+      }
+      out.vars = {std::min(a.var, b.var), std::max(a.var, b.var)};
+      for (ObjId x : adom_) {
+        for (ObjId y : adom_) {
+          if (holds(x, y)) {
+            out.rows.insert(a.var < b.var ? std::vector<ObjId>{x, y}
+                                          : std::vector<ObjId>{y, x});
+          }
+        }
+      }
+      return out;
+    }
+    if (!a.is_var && !b.is_var) {
+      out.vars = {};
+      if (holds(a.constant, b.constant)) out.rows.insert({});
+      return out;
+    }
+    const FoTerm& var_t = a.is_var ? a : b;
+    const FoTerm& const_t = a.is_var ? b : a;
+    out.vars = {var_t.var};
+    for (ObjId o : adom_) {
+      ObjId x = a.is_var ? o : const_t.constant;
+      ObjId y = a.is_var ? const_t.constant : o;
+      if (holds(x, y)) out.rows.insert({o});
+    }
+    return out;
+  }
+
+  Result<FoRelation> Complement(const FoRelation& r) {
+    FoRelation out;
+    out.vars = r.vars;
+    size_t k = r.vars.size();
+    if (k > 0 && adom_.empty()) return out;
+    std::vector<size_t> counter(k, 0);
+    while (true) {
+      std::vector<ObjId> row(k);
+      for (size_t i = 0; i < k; ++i) row[i] = adom_[counter[i]];
+      if (r.rows.count(row) == 0) {
+        out.rows.insert(std::move(row));
+        if (out.rows.size() > opts_.max_rows) {
+          return Status::ResourceExhausted("FO complement too large");
+        }
+      }
+      size_t d = 0;
+      for (; d < k; ++d) {
+        if (++counter[d] < adom_.size()) break;
+        counter[d] = 0;
+      }
+      if (d == k) break;
+    }
+    if (k == 0) {
+      // Complement of a nullary relation: flip emptiness.
+      out.rows.clear();
+      if (r.rows.empty()) out.rows.insert({});
+    }
+    return out;
+  }
+
+  Result<FoRelation> NaturalJoin(const FoRelation& a, const FoRelation& b) {
+    std::vector<int> vars = UnionVars(a.vars, b.vars);
+    FoRelation out;
+    out.vars = vars;
+    // Column maps.
+    auto col_map = [&](const FoRelation& r) {
+      std::vector<int> m(vars.size(), -1);
+      for (size_t i = 0; i < vars.size(); ++i) {
+        auto it = std::lower_bound(r.vars.begin(), r.vars.end(), vars[i]);
+        if (it != r.vars.end() && *it == vars[i]) {
+          m[i] = static_cast<int>(it - r.vars.begin());
+        }
+      }
+      return m;
+    };
+    std::vector<int> ma = col_map(a), mb = col_map(b);
+    // Shared columns for the hash key.
+    std::vector<std::pair<int, int>> shared;  // (a col, b col)
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (ma[i] >= 0 && mb[i] >= 0) shared.emplace_back(ma[i], mb[i]);
+    }
+    std::map<std::vector<ObjId>, std::vector<const std::vector<ObjId>*>> idx;
+    for (const auto& row : b.rows) {
+      std::vector<ObjId> key;
+      for (auto [ca, cb] : shared) {
+        (void)ca;
+        key.push_back(row[cb]);
+      }
+      idx[key].push_back(&row);
+    }
+    for (const auto& row : a.rows) {
+      std::vector<ObjId> key;
+      for (auto [ca, cb] : shared) {
+        (void)cb;
+        key.push_back(row[ca]);
+      }
+      auto it = idx.find(key);
+      if (it == idx.end()) continue;
+      for (const std::vector<ObjId>* brow : it->second) {
+        std::vector<ObjId> out_row(vars.size());
+        for (size_t i = 0; i < vars.size(); ++i) {
+          out_row[i] = ma[i] >= 0 ? row[ma[i]] : (*brow)[mb[i]];
+        }
+        out.rows.insert(std::move(out_row));
+        if (out.rows.size() > opts_.max_rows) {
+          return Status::ResourceExhausted("FO join too large");
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<FoRelation> Project(const FoRelation& r, int var) {
+    auto it = std::lower_bound(r.vars.begin(), r.vars.end(), var);
+    if (it == r.vars.end() || *it != var) return r;  // var not free
+    size_t col = static_cast<size_t>(it - r.vars.begin());
+    FoRelation out;
+    out.vars = r.vars;
+    out.vars.erase(out.vars.begin() + static_cast<long>(col));
+    for (const auto& row : r.rows) {
+      std::vector<ObjId> nr = row;
+      nr.erase(nr.begin() + static_cast<long>(col));
+      out.rows.insert(std::move(nr));
+    }
+    return out;
+  }
+
+  Result<FoRelation> EvalTrCl(const FoFormula& f) {
+    size_t k = f.xs().size();
+    if (f.ys().size() != k || f.t1().size() != k || f.t2().size() != k) {
+      return Status::InvalidArgument("trcl tuple lengths differ");
+    }
+    TRIAL_ASSIGN_OR_RETURN(FoRelation sub, Eval(*f.a()));
+    // Extend to xs ∪ ys ∪ free(sub).
+    std::vector<int> want = sub.vars;
+    for (int v : f.xs()) want.push_back(v);
+    for (int v : f.ys()) want.push_back(v);
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    TRIAL_ASSIGN_OR_RETURN(sub, Extend(sub, want));
+
+    // Partition columns into xs, ys, params.
+    std::vector<size_t> xcol(k), ycol(k);
+    std::vector<size_t> pcol;
+    std::vector<int> pvars;
+    for (size_t i = 0; i < sub.vars.size(); ++i) {
+      int v = sub.vars[i];
+      auto xit = std::find(f.xs().begin(), f.xs().end(), v);
+      auto yit = std::find(f.ys().begin(), f.ys().end(), v);
+      bool used = false;
+      if (xit != f.xs().end()) {
+        xcol[static_cast<size_t>(xit - f.xs().begin())] = i;
+        used = true;
+      }
+      if (yit != f.ys().end()) {
+        ycol[static_cast<size_t>(yit - f.ys().begin())] = i;
+        used = true;
+      }
+      if (!used) {
+        pcol.push_back(i);
+        pvars.push_back(v);
+      }
+    }
+
+    // Per parameter value: edge list over k-tuples; then closure.
+    using Tuple = std::vector<ObjId>;
+    std::map<Tuple, std::set<std::pair<Tuple, Tuple>>> edges;
+    for (const auto& row : sub.rows) {
+      Tuple params, from(k), to(k);
+      for (size_t c : pcol) params.push_back(row[c]);
+      for (size_t i = 0; i < k; ++i) {
+        from[i] = row[xcol[i]];
+        to[i] = row[ycol[i]];
+      }
+      edges[params].emplace(std::move(from), std::move(to));
+    }
+
+    // Result variables: params ∪ vars of t1/t2.
+    std::set<int> res_var_set(pvars.begin(), pvars.end());
+    for (const FoTerm& t : f.t1()) {
+      if (t.is_var) res_var_set.insert(t.var);
+    }
+    for (const FoTerm& t : f.t2()) {
+      if (t.is_var) res_var_set.insert(t.var);
+    }
+    FoRelation out;
+    out.vars.assign(res_var_set.begin(), res_var_set.end());
+
+    for (const auto& [params, es] : edges) {
+      // Transitive closure (length >= 1) by BFS from each source tuple.
+      std::map<Tuple, std::vector<Tuple>> adj;
+      std::set<Tuple> nodes;
+      for (const auto& [from, to] : es) {
+        adj[from].push_back(to);
+        nodes.insert(from);
+        nodes.insert(to);
+      }
+      for (const Tuple& src : nodes) {
+        std::set<Tuple> reached;
+        std::vector<Tuple> stack;
+        for (const Tuple& t : adj[src]) {
+          if (reached.insert(t).second) stack.push_back(t);
+        }
+        while (!stack.empty()) {
+          Tuple u = stack.back();
+          stack.pop_back();
+          for (const Tuple& t : adj[u]) {
+            if (reached.insert(t).second) stack.push_back(t);
+          }
+        }
+        for (const Tuple& dst : reached) {
+          // Try to bind the result assignment.
+          std::map<int, ObjId> env;
+          for (size_t i = 0; i < pvars.size(); ++i) env[pvars[i]] = params[i];
+          bool ok = true;
+          auto bind = [&](const FoTerm& t, ObjId val) {
+            if (!t.is_var) {
+              if (t.constant != val) ok = false;
+              return;
+            }
+            auto [it, inserted] = env.emplace(t.var, val);
+            if (!inserted && it->second != val) ok = false;
+          };
+          for (size_t i = 0; i < k && ok; ++i) bind(f.t1()[i], src[i]);
+          for (size_t i = 0; i < k && ok; ++i) bind(f.t2()[i], dst[i]);
+          if (!ok) continue;
+          std::vector<ObjId> row;
+          for (int v : out.vars) row.push_back(env.at(v));
+          out.rows.insert(std::move(row));
+          if (out.rows.size() > opts_.max_rows) {
+            return Status::ResourceExhausted("trcl result too large");
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  static std::vector<int> UnionVars(const std::vector<int>& a,
+                                    const std::vector<int>& b) {
+    std::vector<int> out;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+  }
+
+  const TripleStore& store_;
+  const FoEvalOptions& opts_;
+  std::vector<ObjId> adom_;
+};
+
+}  // namespace
+
+Result<FoRelation> EvalFo(const FoPtr& f, const TripleStore& store,
+                          const FoEvalOptions& opts) {
+  if (f == nullptr) return Status::InvalidArgument("null formula");
+  FoEvaluator ev(store, opts);
+  return ev.Eval(*f);
+}
+
+Result<bool> EvalFoSentence(const FoPtr& f, const TripleStore& store,
+                            const FoEvalOptions& opts) {
+  TRIAL_ASSIGN_OR_RETURN(FoRelation r, EvalFo(f, store, opts));
+  if (!r.vars.empty()) {
+    return Status::InvalidArgument("sentence has free variables");
+  }
+  return !r.rows.empty();
+}
+
+Result<std::set<std::vector<ObjId>>> EvalFoAsTriples(
+    const FoPtr& f, const TripleStore& store, const FoEvalOptions& opts) {
+  FoEvaluator ev(store, opts);
+  TRIAL_ASSIGN_OR_RETURN(FoRelation r, ev.Eval(*f));
+  for (int v : r.vars) {
+    if (v < 0 || v > 2) {
+      return Status::InvalidArgument(
+          "EvalFoAsTriples expects variables within {0,1,2}");
+    }
+  }
+  TRIAL_ASSIGN_OR_RETURN(FoRelation full, ev.Extend(r, {0, 1, 2}));
+  return full.rows;
+}
+
+}  // namespace trial

@@ -1,0 +1,51 @@
+// Bottom-up FO(+TrCl) evaluation over triplestore instances, with
+// active-domain semantics — the standard assumption the paper makes for
+// all its relational comparisons (Remark 3 of the appendix).
+//
+// Every subformula evaluates to the set of its satisfying assignments
+// over its free variables (a k-column relation), so evaluation is
+// polynomial per node rather than exponential in quantifier depth.
+
+#ifndef TRIAL_FO_FO_EVAL_H_
+#define TRIAL_FO_FO_EVAL_H_
+
+#include <set>
+#include <vector>
+
+#include "fo/formula.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Satisfying assignments of a formula: `vars` (sorted ascending) names
+/// the columns; each row gives one value per column.
+struct FoRelation {
+  std::vector<int> vars;
+  std::set<std::vector<ObjId>> rows;
+};
+
+/// Evaluation limits (complement and quantifier-free enumeration are
+/// |adom|^k; tiny structures only).
+struct FoEvalOptions {
+  size_t max_rows = 5'000'000;
+};
+
+/// Evaluates `f` over the instance I_T of the store.
+Result<FoRelation> EvalFo(const FoPtr& f, const TripleStore& store,
+                          const FoEvalOptions& opts = {});
+
+/// Evaluates a sentence (all variables quantified): true iff satisfied.
+Result<bool> EvalFoSentence(const FoPtr& f, const TripleStore& store,
+                            const FoEvalOptions& opts = {});
+
+/// Satisfying assignments extended to exactly the variables {0,1,2}
+/// (missing variables range over the active domain) and packed as
+/// triples — the convention under which FO³ formulas compare with TriAL
+/// expressions (Theorem 4).
+Result<std::set<std::vector<ObjId>>> EvalFoAsTriples(
+    const FoPtr& f, const TripleStore& store, const FoEvalOptions& opts = {});
+
+}  // namespace trial
+
+#endif  // TRIAL_FO_FO_EVAL_H_

@@ -1,0 +1,188 @@
+#include "fo/fo_to_trial.h"
+
+#include <array>
+
+#include "core/builder.h"
+
+namespace trial {
+namespace {
+
+constexpr Pos kSlotPos[3] = {Pos::P1, Pos::P2, Pos::P3};
+constexpr Pos kRightPos[3] = {Pos::P1p, Pos::P2p, Pos::P3p};
+
+Status CheckVar(int v) {
+  if (v < 0 || v > 2) {
+    return Status::InvalidArgument("FO3 translation: variable x" +
+                                   std::to_string(v) + " out of range");
+  }
+  return Status::OK();
+}
+
+class Translator {
+ public:
+  explicit Translator(const TripleStore& store) : store_(store) {}
+
+  Result<ExprPtr> Build(const FoFormula& f) {
+    switch (f.kind()) {
+      case FoFormula::Kind::kAtom:
+        return BuildAtom(f);
+      case FoFormula::Kind::kSim:
+      case FoFormula::Kind::kEq:
+        return BuildBinary(f);
+      case FoFormula::Kind::kNot: {
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr a, Build(*f.a()));
+        return Expr::Diff(Expr::Universe(), a);
+      }
+      case FoFormula::Kind::kAnd: {
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr a, Build(*f.a()));
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr b, Build(*f.b()));
+        return Expr::Intersect(a, b);
+      }
+      case FoFormula::Kind::kOr: {
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr a, Build(*f.a()));
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr b, Build(*f.b()));
+        return Expr::Union(a, b);
+      }
+      case FoFormula::Kind::kExists: {
+        TRIAL_RETURN_IF_ERROR(CheckVar(f.quant_var()));
+        TRIAL_ASSIGN_OR_RETURN(ExprPtr a, Build(*f.a()));
+        // Re-randomize the quantified slot from U.
+        JoinSpec spec;
+        for (int s = 0; s < 3; ++s) {
+          spec.out[s] = s == f.quant_var() ? Pos::P1p : kSlotPos[s];
+        }
+        return Expr::Join(a, Expr::Universe(), spec);
+      }
+      case FoFormula::Kind::kTrCl:
+        return BuildTrCl(f);
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+ private:
+  // E(t0,t1,t2): join E with U, routing each variable's slot to its
+  // first occurrence in the atom and leaving unused slots to U.
+  Result<ExprPtr> BuildAtom(const FoFormula& f) {
+    if (store_.FindRelation(f.rel()) == nullptr) {
+      return Status::NotFound("unknown relation " + f.rel());
+    }
+    CondSet cond;
+    std::array<int, 3> first_occurrence = {-1, -1, -1};  // per variable
+    for (int i = 0; i < 3; ++i) {
+      const FoTerm& t = f.terms()[i];
+      if (t.is_var) {
+        TRIAL_RETURN_IF_ERROR(CheckVar(t.var));
+        if (first_occurrence[t.var] < 0) {
+          first_occurrence[t.var] = i;
+        } else {
+          cond.theta.push_back(
+              Eq(kSlotPos[first_occurrence[t.var]], kSlotPos[i]));
+        }
+      } else {
+        cond.theta.push_back(EqConst(kSlotPos[i], t.constant));
+      }
+    }
+    JoinSpec spec;
+    int free_right = 0;
+    for (int v = 0; v < 3; ++v) {
+      spec.out[v] = first_occurrence[v] >= 0 ? kSlotPos[first_occurrence[v]]
+                                             : kRightPos[free_right++];
+    }
+    spec.cond = std::move(cond);
+    return Expr::Join(Expr::Rel(f.rel()), Expr::Universe(), spec);
+  }
+
+  // x_i = x_j / ∼(x_i, x_j) (or against constants): a selection over U.
+  Result<ExprPtr> BuildBinary(const FoFormula& f) {
+    bool sim = f.kind() == FoFormula::Kind::kSim;
+    const FoTerm& a = f.terms()[0];
+    const FoTerm& b = f.terms()[1];
+    for (const FoTerm& t : {a, b}) {
+      if (t.is_var) TRIAL_RETURN_IF_ERROR(CheckVar(t.var));
+    }
+    CondSet cond;
+    if (sim) {
+      DataTerm da = a.is_var ? DataTerm::P(kSlotPos[a.var])
+                             : DataTerm::C(store_.Value(a.constant));
+      DataTerm db = b.is_var ? DataTerm::P(kSlotPos[b.var])
+                             : DataTerm::C(store_.Value(b.constant));
+      cond.eta.push_back(DataConstraint{da, db, true});
+    } else {
+      ObjTerm oa = a.is_var ? ObjTerm::P(kSlotPos[a.var])
+                            : ObjTerm::C(a.constant);
+      ObjTerm ob = b.is_var ? ObjTerm::P(kSlotPos[b.var])
+                            : ObjTerm::C(b.constant);
+      cond.theta.push_back(ObjConstraint{oa, ob, true});
+    }
+    return Expr::Select(Expr::Universe(), std::move(cond));
+  }
+
+  // [trcl_{x,y} φ](u1, u2) with singleton tuples (Theorem 6 part 2).
+  Result<ExprPtr> BuildTrCl(const FoFormula& f) {
+    if (f.xs().size() != 1) {
+      return Status::InvalidArgument(
+          "TrCl3 translation supports singleton trcl tuples only");
+    }
+    int x = f.xs()[0], y = f.ys()[0];
+    TRIAL_RETURN_IF_ERROR(CheckVar(x));
+    TRIAL_RETURN_IF_ERROR(CheckVar(y));
+    if (x == y) {
+      return Status::InvalidArgument("trcl variables must be distinct");
+    }
+    int z = 3 - x - y;  // the parameter slot
+    TRIAL_ASSIGN_OR_RETURN(ExprPtr sub, Build(*f.a()));
+
+    // Rearrange φ's slots so that x sits at 1, y at 2, z at 3, by a
+    // self-join on the identity.
+    JoinSpec perm;
+    perm.out = {kSlotPos[x], kSlotPos[y], kSlotPos[z]};
+    perm.cond.theta = {Eq(Pos::P1, Pos::P1p), Eq(Pos::P2, Pos::P2p),
+                       Eq(Pos::P3, Pos::P3p)};
+    ExprPtr arranged = Expr::Join(sub, sub, perm);
+
+    // R := (R_φ ⋈^{1,2',3}_{3=3',2=1'})* — closure pairs with parameter:
+    // (a, b, c) ∈ R iff b reachable from a via >=1 φ(·,·,c)-edges.
+    ExprPtr closure = Expr::StarRight(
+        arranged, Spec(Pos::P1, Pos::P2p, Pos::P3,
+                       {Eq(Pos::P3, Pos::P3p), Eq(Pos::P2, Pos::P1p)}));
+
+    // Route (u1, u2, z) back into slot order — the "atom over R" step.
+    CondSet cond;
+    std::array<int, 3> first_occurrence = {-1, -1, -1};
+    std::array<FoTerm, 3> args = {f.t1()[0], f.t2()[0], FoTerm::V(z)};
+    for (int i = 0; i < 3; ++i) {
+      const FoTerm& t = args[i];
+      if (t.is_var) {
+        TRIAL_RETURN_IF_ERROR(CheckVar(t.var));
+        if (first_occurrence[t.var] < 0) {
+          first_occurrence[t.var] = i;
+        } else {
+          cond.theta.push_back(
+              Eq(kSlotPos[first_occurrence[t.var]], kSlotPos[i]));
+        }
+      } else {
+        cond.theta.push_back(EqConst(kSlotPos[i], t.constant));
+      }
+    }
+    JoinSpec spec;
+    int free_right = 0;
+    for (int v = 0; v < 3; ++v) {
+      spec.out[v] = first_occurrence[v] >= 0 ? kSlotPos[first_occurrence[v]]
+                                             : kRightPos[free_right++];
+    }
+    spec.cond = std::move(cond);
+    return Expr::Join(closure, Expr::Universe(), spec);
+  }
+
+  const TripleStore& store_;
+};
+
+}  // namespace
+
+Result<ExprPtr> FoToTriAL(const FoPtr& f, const TripleStore& store) {
+  if (f == nullptr) return Status::InvalidArgument("null formula");
+  Translator t(store);
+  return t.Build(*f);
+}
+
+}  // namespace trial

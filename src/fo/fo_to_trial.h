@@ -1,0 +1,32 @@
+// FO³ → TriAL and TrCl³ → TriAL* (Theorem 4 part 2 and Theorem 6
+// part 2), constructively.
+//
+// The invariant of the translation: for a formula φ over variables
+// {0,1,2}, the expression e_φ computes all triples (a0,a1,a2) ∈ adom³
+// such that φ holds under x0→a0, x1→a1, x2→a2 — variables not free in φ
+// range freely (this is how the paper avoids needing projection).
+//
+// TrCl support covers the TrCl³ shape: [trcl_{x,y} φ(x,y,z)](u1,u2)
+// with singleton x̄/ȳ, compiled to (R_φ′ ⋈^{1,2',3}_{3=3',2=1'})* as in
+// the proof of Theorem 6, followed by the paper's case analysis on the
+// terms u1, u2.
+
+#ifndef TRIAL_FO_FO_TO_TRIAL_H_
+#define TRIAL_FO_FO_TO_TRIAL_H_
+
+#include "core/expr.h"
+#include "fo/formula.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Compiles an FO³/TrCl³ formula (variables within {0,1,2}; TrCl only in
+/// the singleton-tuple shape) into a TriAL(*) expression satisfying the
+/// invariant above.  Errors: kInvalidArgument for out-of-range variables
+/// or wider TrCl tuples.
+Result<ExprPtr> FoToTriAL(const FoPtr& f, const TripleStore& store);
+
+}  // namespace trial
+
+#endif  // TRIAL_FO_FO_TO_TRIAL_H_

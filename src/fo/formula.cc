@@ -1,0 +1,187 @@
+#include "fo/formula.h"
+
+#include <algorithm>
+#include <set>
+
+namespace trial {
+namespace {
+
+void CollectVars(const FoFormula& f, std::set<int>* all, std::set<int>* free,
+                 std::set<int> bound) {
+  auto note_terms = [&](const std::vector<FoTerm>& ts) {
+    for (const FoTerm& t : ts) {
+      if (t.is_var) {
+        all->insert(t.var);
+        if (bound.count(t.var) == 0) free->insert(t.var);
+      }
+    }
+  };
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom:
+    case FoFormula::Kind::kSim:
+    case FoFormula::Kind::kEq:
+      note_terms(f.terms());
+      return;
+    case FoFormula::Kind::kNot:
+      CollectVars(*f.a(), all, free, bound);
+      return;
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr:
+      CollectVars(*f.a(), all, free, bound);
+      CollectVars(*f.b(), all, free, bound);
+      return;
+    case FoFormula::Kind::kExists: {
+      all->insert(f.quant_var());
+      std::set<int> inner = bound;
+      inner.insert(f.quant_var());
+      CollectVars(*f.a(), all, free, inner);
+      return;
+    }
+    case FoFormula::Kind::kTrCl: {
+      note_terms(f.t1());
+      note_terms(f.t2());
+      std::set<int> inner = bound;
+      for (int v : f.xs()) {
+        all->insert(v);
+        inner.insert(v);
+      }
+      for (int v : f.ys()) {
+        all->insert(v);
+        inner.insert(v);
+      }
+      CollectVars(*f.a(), all, free, inner);
+      return;
+    }
+  }
+}
+
+std::string TermStr(const FoTerm& t) {
+  return t.is_var ? "x" + std::to_string(t.var)
+                  : "#" + std::to_string(t.constant);
+}
+
+}  // namespace
+
+std::shared_ptr<FoFormula> FoFormula::Make(Kind k) {
+  struct Access : FoFormula {
+    explicit Access(Kind k) : FoFormula(k) {}
+  };
+  return std::make_shared<Access>(k);
+}
+
+FoPtr FoFormula::Atom(std::string rel, FoTerm a, FoTerm b, FoTerm c) {
+  auto f = Make(Kind::kAtom);
+  f->rel_ = std::move(rel);
+  f->terms_ = {a, b, c};
+  return f;
+}
+
+FoPtr FoFormula::Sim(FoTerm a, FoTerm b) {
+  auto f = Make(Kind::kSim);
+  f->terms_ = {a, b};
+  return f;
+}
+
+FoPtr FoFormula::Eq(FoTerm a, FoTerm b) {
+  auto f = Make(Kind::kEq);
+  f->terms_ = {a, b};
+  return f;
+}
+
+FoPtr FoFormula::Not(FoPtr a) {
+  auto f = Make(Kind::kNot);
+  f->a_ = std::move(a);
+  return f;
+}
+
+FoPtr FoFormula::And(FoPtr a, FoPtr b) {
+  auto f = Make(Kind::kAnd);
+  f->a_ = std::move(a);
+  f->b_ = std::move(b);
+  return f;
+}
+
+FoPtr FoFormula::Or(FoPtr a, FoPtr b) {
+  auto f = Make(Kind::kOr);
+  f->a_ = std::move(a);
+  f->b_ = std::move(b);
+  return f;
+}
+
+FoPtr FoFormula::Exists(int var, FoPtr a) {
+  auto f = Make(Kind::kExists);
+  f->quant_var_ = var;
+  f->a_ = std::move(a);
+  return f;
+}
+
+FoPtr FoFormula::TrCl(std::vector<int> xs, std::vector<int> ys, FoPtr sub,
+                      std::vector<FoTerm> t1, std::vector<FoTerm> t2) {
+  auto f = Make(Kind::kTrCl);
+  f->xs_ = std::move(xs);
+  f->ys_ = std::move(ys);
+  f->a_ = std::move(sub);
+  f->t1_ = std::move(t1);
+  f->t2_ = std::move(t2);
+  return f;
+}
+
+FoPtr FoFormula::AndAll(std::vector<FoPtr> fs) {
+  FoPtr out = fs.front();
+  for (size_t i = 1; i < fs.size(); ++i) out = And(out, fs[i]);
+  return out;
+}
+
+FoPtr FoFormula::ExistsAll(const std::vector<int>& vars, FoPtr a) {
+  FoPtr out = std::move(a);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    out = Exists(*it, out);
+  }
+  return out;
+}
+
+std::vector<int> FoFormula::FreeVars() const {
+  std::set<int> all, free;
+  CollectVars(*this, &all, &free, {});
+  return std::vector<int>(free.begin(), free.end());
+}
+
+int FoFormula::DistinctVarCount() const {
+  std::set<int> all, free;
+  CollectVars(*this, &all, &free, {});
+  return static_cast<int>(all.size());
+}
+
+std::string FoFormula::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return rel_ + "(" + TermStr(terms_[0]) + "," + TermStr(terms_[1]) +
+             "," + TermStr(terms_[2]) + ")";
+    case Kind::kSim:
+      return "~(" + TermStr(terms_[0]) + "," + TermStr(terms_[1]) + ")";
+    case Kind::kEq:
+      return TermStr(terms_[0]) + "=" + TermStr(terms_[1]);
+    case Kind::kNot:
+      return "!(" + a_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + a_->ToString() + " & " + b_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + a_->ToString() + " | " + b_->ToString() + ")";
+    case Kind::kExists:
+      return "E x" + std::to_string(quant_var_) + ".(" + a_->ToString() +
+             ")";
+    case Kind::kTrCl: {
+      std::string out = "[trcl ";
+      out += a_->ToString();
+      out += "](";
+      for (const FoTerm& t : t1_) out += TermStr(t) + " ";
+      out += "->";
+      for (const FoTerm& t : t2_) out += " " + TermStr(t);
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace trial

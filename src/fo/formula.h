@@ -1,0 +1,105 @@
+// First-order logic over triplestore instances I_T = ⟨E1,…,En, ∼⟩
+// (Section 6.1), with the transitive-closure operator of TrCl
+// (Theorem 6).
+//
+// Variables are integers; formulas over variables {0,1,2} are the FO³
+// fragment that Theorem 4 embeds into TriAL.  Constants are object ids
+// of a fixed store.  TrCl here is the true transitive closure (paths of
+// length >= 1); the paper's star translation adds the base case as an
+// explicit disjunct, which matches this choice.
+
+#ifndef TRIAL_FO_FORMULA_H_
+#define TRIAL_FO_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/triple.h"
+
+namespace trial {
+
+/// A term: variable index or object-id constant.
+struct FoTerm {
+  bool is_var = true;
+  int var = 0;
+  ObjId constant = 0;
+
+  static FoTerm V(int v) { return FoTerm{true, v, 0}; }
+  static FoTerm C(ObjId o) { return FoTerm{false, 0, o}; }
+
+  bool operator==(const FoTerm& o) const {
+    return is_var == o.is_var &&
+           (is_var ? var == o.var : constant == o.constant);
+  }
+};
+
+class FoFormula;
+using FoPtr = std::shared_ptr<const FoFormula>;
+
+/// An FO(+TrCl) formula node.
+class FoFormula {
+ public:
+  enum class Kind {
+    kAtom,    ///< E(t1, t2, t3)
+    kSim,     ///< ∼(t1, t2)      — same data value
+    kEq,      ///< t1 = t2
+    kNot,
+    kAnd,
+    kOr,
+    kExists,  ///< ∃ var . sub
+    kTrCl,    ///< [trcl_{x̄,ȳ} sub](t̄1, t̄2)
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& rel() const { return rel_; }
+  const std::vector<FoTerm>& terms() const { return terms_; }
+  int quant_var() const { return quant_var_; }
+  const FoPtr& a() const { return a_; }
+  const FoPtr& b() const { return b_; }
+  const std::vector<int>& xs() const { return xs_; }
+  const std::vector<int>& ys() const { return ys_; }
+  const std::vector<FoTerm>& t1() const { return t1_; }
+  const std::vector<FoTerm>& t2() const { return t2_; }
+
+  static FoPtr Atom(std::string rel, FoTerm a, FoTerm b, FoTerm c);
+  static FoPtr Sim(FoTerm a, FoTerm b);
+  static FoPtr Eq(FoTerm a, FoTerm b);
+  static FoPtr Not(FoPtr a);
+  static FoPtr And(FoPtr a, FoPtr b);
+  static FoPtr Or(FoPtr a, FoPtr b);
+  static FoPtr Exists(int var, FoPtr a);
+  /// [trcl_{x̄,ȳ} sub](t̄1, t̄2); |x̄| = |ȳ| = |t̄1| = |t̄2|.
+  static FoPtr TrCl(std::vector<int> xs, std::vector<int> ys, FoPtr sub,
+                    std::vector<FoTerm> t1, std::vector<FoTerm> t2);
+
+  /// Convenience: ⋀ formulas (right fold); pre: non-empty.
+  static FoPtr AndAll(std::vector<FoPtr> fs);
+  /// ∃ over several variables.
+  static FoPtr ExistsAll(const std::vector<int>& vars, FoPtr a);
+
+  /// Free variables, sorted ascending.
+  std::vector<int> FreeVars() const;
+
+  /// Number of distinct variables (free or bound) occurring — the k of
+  /// the FOk fragments.
+  int DistinctVarCount() const;
+
+  std::string ToString() const;
+
+ private:
+  FoFormula(Kind k) : kind_(k) {}
+  static std::shared_ptr<FoFormula> Make(Kind k);
+
+  Kind kind_;
+  std::string rel_;
+  std::vector<FoTerm> terms_;
+  int quant_var_ = -1;
+  FoPtr a_, b_;
+  std::vector<int> xs_, ys_;
+  std::vector<FoTerm> t1_, t2_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_FO_FORMULA_H_

@@ -1,0 +1,138 @@
+#include "fo/structures.h"
+
+#include <string>
+
+#include "core/builder.h"
+
+namespace trial {
+namespace {
+
+std::string Name(const char* p, int i) { return std::string(p) + std::to_string(i); }
+
+// Adds the six symmetric triples connecting u and v to w through middle
+// m: here "connecting x,y through m" means both (x,m,y) and (y,m,x).
+void Link(TripleStore* store, RelId rel, ObjId u, ObjId v, ObjId m) {
+  store->Add(rel, u, m, v);
+  store->Add(rel, v, m, u);
+}
+
+// ψ(x, y, z) with explicit variable indices and a chosen middle
+// variable (so that φ can reuse variables, staying within FO⁴).
+FoPtr PsiAt(int x, int y, int z, int mid) {
+  using F = FoFormula;
+  auto E = [&](int a, int b) {
+    return F::Atom("E", FoTerm::V(a), FoTerm::V(mid), FoTerm::V(b));
+  };
+  auto neq = [&](int a, int b) {
+    return F::Not(F::Eq(FoTerm::V(a), FoTerm::V(b)));
+  };
+  return F::Exists(
+      mid, F::AndAll({E(x, y), E(y, x), E(y, z), E(z, y), E(x, z), E(z, x),
+                      neq(x, y), neq(x, z), neq(y, z)}));
+}
+
+}  // namespace
+
+ExprPtr DistinctObjectsExpr(int k) {
+  // Positions 1,2,3,1',2',3' give six "slots"; require the first
+  // min(k,6) pairwise different.
+  JoinSpec spec;
+  spec.out = {Pos::P1, Pos::P2, Pos::P3};
+  Pos slots[6] = {Pos::P1, Pos::P2, Pos::P3, Pos::P1p, Pos::P2p, Pos::P3p};
+  int n = k < 2 ? 2 : (k > 6 ? 6 : k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      spec.cond.theta.push_back(Neq(slots[i], slots[j]));
+    }
+  }
+  return Expr::Join(Expr::Universe(), Expr::Universe(), spec);
+}
+
+TripleStore TheoremFourStructureA() {
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  ObjId a = store.InternObject("a");
+  ObjId b = store.InternObject("b");
+  ObjId c = store.InternObject("c");
+  std::vector<ObjId> d, e;
+  for (int j = 1; j <= 9; ++j) d.push_back(store.InternObject(Name("d", j)));
+  for (int i = 1; i <= 12; ++i) e.push_back(store.InternObject(Name("e", i)));
+  // Triangle through every e_i.
+  for (ObjId m : e) {
+    Link(&store, rel, a, b, m);
+    Link(&store, rel, a, c, m);
+    Link(&store, rel, b, c, m);
+  }
+  // Every d_j fully attached to a, b, c through e_1..e_4.
+  for (int i = 0; i < 4; ++i) {
+    for (ObjId dj : d) {
+      Link(&store, rel, a, dj, e[i]);
+      Link(&store, rel, b, dj, e[i]);
+      Link(&store, rel, c, dj, e[i]);
+    }
+  }
+  return store;
+}
+
+TripleStore TheoremFourStructureB() {
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  ObjId a = store.InternObject("a");
+  ObjId b = store.InternObject("b");
+  ObjId c = store.InternObject("c");
+  std::vector<ObjId> d, e;
+  for (int j = 1; j <= 9; ++j) d.push_back(store.InternObject(Name("d", j)));
+  for (int i = 1; i <= 12; ++i) e.push_back(store.InternObject(Name("e", i)));
+  // Triangle only through e_1..e_3.
+  for (int i = 0; i < 3; ++i) {
+    Link(&store, rel, a, b, e[i]);
+    Link(&store, rel, a, c, e[i]);
+    Link(&store, rel, b, c, e[i]);
+  }
+  // Pair (a,b) with d_1..d_3 through e_4..e_6.
+  for (int i = 3; i < 6; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      Link(&store, rel, a, b, e[i]);
+      Link(&store, rel, a, d[j], e[i]);
+      Link(&store, rel, b, d[j], e[i]);
+    }
+  }
+  // Pair (a,c) with d_4..d_6 through e_7..e_9.
+  for (int i = 6; i < 9; ++i) {
+    for (int j = 3; j < 6; ++j) {
+      Link(&store, rel, a, c, e[i]);
+      Link(&store, rel, a, d[j], e[i]);
+      Link(&store, rel, c, d[j], e[i]);
+    }
+  }
+  // Pair (b,c) with d_7..d_9 through e_10..e_12.
+  for (int i = 9; i < 12; ++i) {
+    for (int j = 6; j < 9; ++j) {
+      Link(&store, rel, b, c, e[i]);
+      Link(&store, rel, b, d[j], e[i]);
+      Link(&store, rel, c, d[j], e[i]);
+    }
+  }
+  return store;
+}
+
+FoPtr TheoremFourPsi() { return PsiAt(0, 1, 2, 3); }
+
+FoPtr TheoremFourPhi() {
+  using F = FoFormula;
+  auto neq = [&](int a, int b) {
+    return F::Not(F::Eq(FoTerm::V(a), FoTerm::V(b)));
+  };
+  // Inner middles reuse whichever of {0,1,2,3} is not an argument, so φ
+  // is a genuine four-variable sentence.
+  FoPtr body = F::AndAll({
+      PsiAt(0, 1, 3, /*mid=*/2),  // ψ(x, y, w)
+      PsiAt(0, 3, 2, /*mid=*/1),  // ψ(x, w, z)
+      PsiAt(3, 1, 2, /*mid=*/0),  // ψ(w, y, z)
+      PsiAt(0, 1, 2, /*mid=*/3),  // ψ(x, y, z)
+      neq(0, 1), neq(0, 2), neq(0, 3), neq(1, 2), neq(1, 3), neq(2, 3),
+  });
+  return F::ExistsAll({0, 1, 2, 3}, body);
+}
+
+}  // namespace trial

@@ -1,0 +1,54 @@
+// Executable separation witnesses from the paper (Theorems 4–6 and their
+// appendix proofs):
+//
+//  * the full-cube stores T_k (k objects, E = O³, constant ρ) used to
+//    show that "there exist k+1 distinct objects" is inexpressible in
+//    FO^k / L^k∞ω while TriAL expresses it with inequality joins;
+//  * the TriAL expressions e_k ("at least k distinct objects occur");
+//  * the structures A and B of the Theorem 4 appendix proof, which agree
+//    on all TriAL expressions (join games) but are separated by an FO⁴
+//    sentence φ built from the triangle formula ψ.
+
+#ifndef TRIAL_FO_STRUCTURES_H_
+#define TRIAL_FO_STRUCTURES_H_
+
+#include "core/expr.h"
+#include "fo/formula.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// TriAL expression that is nonempty iff the store has at least `k`
+/// (2 <= k <= 6) distinct objects occurring in triples — built as
+/// U ⋈^{1,2,3}_θ U with pairwise inequalities over min(k,6) positions,
+/// as in the proofs of Theorem 4 (k=4, k=6).
+ExprPtr DistinctObjectsExpr(int k);
+
+/// Structure A from the appendix proof of Theorem 4 part 3: objects
+/// a, b, c, d1..d9, e1..e12; the {a,b,c} triangle is fully connected
+/// through every e_i, and every d_j is fully connected to a, b and c
+/// through e_1..e_4 (one relation "E").
+TripleStore TheoremFourStructureA();
+
+/// Structure B: the triangle is connected only through e_1..e_3, and
+/// each pair from {a,b,c} shares its d-companions with a *different*
+/// block of middles (e_4..e_6 with d_1..d_3, e_7..e_9 with d_4..d_6,
+/// e_10..e_12 with d_7..d_9), so no single witness w works for all
+/// three ψ conjuncts.
+TripleStore TheoremFourStructureB();
+
+/// The appendix's triangle formula ψ(x, y, z) =
+///   ∃w ( E(x,w,y) ∧ E(y,w,x) ∧ E(y,w,z) ∧ E(z,w,y)
+///        ∧ E(x,w,z) ∧ E(z,w,x) ∧ pairwise-distinct(x,y,z) ).
+/// Variables: x=0, y=1, z=2, w=3.
+FoPtr TheoremFourPsi();
+
+/// The separating FO⁴ sentence φ =
+///   ∃x∃y∃z∃w ( ψ(x,y,w) ∧ ψ(x,w,z) ∧ ψ(w,y,z) ∧ ψ(x,y,z)
+///              ∧ pairwise-distinct(x,y,z,w) ),
+/// true in A, false in B.
+FoPtr TheoremFourPhi();
+
+}  // namespace trial
+
+#endif  // TRIAL_FO_STRUCTURES_H_

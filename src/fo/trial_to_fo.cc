@@ -1,0 +1,182 @@
+#include "fo/trial_to_fo.h"
+
+#include <vector>
+
+namespace trial {
+namespace {
+
+using Vars3 = std::array<int, 3>;
+
+class Translator {
+ public:
+  explicit Translator(const TripleStore& store) : store_(store) {}
+
+  Result<FoPtr> Build(const Expr& e, const Vars3& out) {
+    switch (e.kind()) {
+      case ExprKind::kRel:
+        if (store_.FindRelation(e.rel_name()) == nullptr) {
+          return Status::NotFound("unknown relation " + e.rel_name());
+        }
+        return FoFormula::Atom(e.rel_name(), FoTerm::V(out[0]),
+                               FoTerm::V(out[1]), FoTerm::V(out[2]));
+      case ExprKind::kEmpty:
+        return FoFormula::Not(
+            FoFormula::Eq(FoTerm::V(out[0]), FoTerm::V(out[0])));
+      case ExprKind::kUniverse: {
+        std::vector<FoPtr> parts;
+        for (int i = 0; i < 3; ++i) {
+          TRIAL_ASSIGN_OR_RETURN(FoPtr in, InAdom(out[i]));
+          parts.push_back(in);
+        }
+        return FoFormula::AndAll(std::move(parts));
+      }
+      case ExprKind::kSelect: {
+        TRIAL_ASSIGN_OR_RETURN(FoPtr sub, Build(*e.left(), out));
+        TRIAL_ASSIGN_OR_RETURN(
+            FoPtr conds, CondFormula(e.select_cond(), out, out));
+        return FoFormula::And(sub, conds);
+      }
+      case ExprKind::kUnion: {
+        TRIAL_ASSIGN_OR_RETURN(FoPtr a, Build(*e.left(), out));
+        TRIAL_ASSIGN_OR_RETURN(FoPtr b, Build(*e.right(), out));
+        return FoFormula::Or(a, b);
+      }
+      case ExprKind::kDiff: {
+        TRIAL_ASSIGN_OR_RETURN(FoPtr a, Build(*e.left(), out));
+        TRIAL_ASSIGN_OR_RETURN(FoPtr b, Build(*e.right(), out));
+        return FoFormula::And(a, FoFormula::Not(b));
+      }
+      case ExprKind::kJoin: {
+        Vars3 l = Fresh3(), r = Fresh3();
+        TRIAL_ASSIGN_OR_RETURN(FoPtr fa, Build(*e.left(), l));
+        TRIAL_ASSIGN_OR_RETURN(FoPtr fb, Build(*e.right(), r));
+        TRIAL_ASSIGN_OR_RETURN(FoPtr conds,
+                               CondFormula(e.join_spec().cond, l, r));
+        // Tie the target variables to the joined output positions.
+        std::vector<FoPtr> parts = {fa, fb, conds};
+        for (int i = 0; i < 3; ++i) {
+          parts.push_back(FoFormula::Eq(
+              FoTerm::V(out[i]),
+              FoTerm::V(PosVar(e.join_spec().out[i], l, r))));
+        }
+        std::vector<int> quantified(l.begin(), l.end());
+        quantified.insert(quantified.end(), r.begin(), r.end());
+        return FoFormula::ExistsAll(quantified,
+                                    FoFormula::AndAll(std::move(parts)));
+      }
+      case ExprKind::kStarRight:
+      case ExprKind::kStarLeft: {
+        // ψ(out) = φ_base(out) ∨
+        //   ∃s̄ (φ_base(s̄) ∧ [trcl_{x̄,ȳ} step](s̄, out)).
+        bool right = e.kind() == ExprKind::kStarRight;
+        TRIAL_ASSIGN_OR_RETURN(FoPtr base_out, Build(*e.left(), out));
+
+        Vars3 xs = Fresh3(), ys = Fresh3(), other = Fresh3();
+        // Step: x̄ -> ȳ iff ȳ = x̄ ⋈ r for some base triple r̄ (right
+        // star) or ȳ = r̄ ⋈ x̄ (left star).
+        TRIAL_ASSIGN_OR_RETURN(FoPtr base_other, Build(*e.left(), other));
+        const Vars3& jl = right ? xs : other;
+        const Vars3& jr = right ? other : xs;
+        TRIAL_ASSIGN_OR_RETURN(FoPtr conds,
+                               CondFormula(e.join_spec().cond, jl, jr));
+        std::vector<FoPtr> step_parts = {base_other, conds};
+        for (int i = 0; i < 3; ++i) {
+          step_parts.push_back(FoFormula::Eq(
+              FoTerm::V(ys[i]),
+              FoTerm::V(PosVar(e.join_spec().out[i], jl, jr))));
+        }
+        FoPtr step = FoFormula::ExistsAll(
+            std::vector<int>(other.begin(), other.end()),
+            FoFormula::AndAll(std::move(step_parts)));
+
+        Vars3 s = Fresh3();
+        TRIAL_ASSIGN_OR_RETURN(FoPtr base_s, Build(*e.left(), s));
+        FoPtr trcl = FoFormula::TrCl(
+            std::vector<int>(xs.begin(), xs.end()),
+            std::vector<int>(ys.begin(), ys.end()), step,
+            {FoTerm::V(s[0]), FoTerm::V(s[1]), FoTerm::V(s[2])},
+            {FoTerm::V(out[0]), FoTerm::V(out[1]), FoTerm::V(out[2])});
+        FoPtr closure_case = FoFormula::ExistsAll(
+            std::vector<int>(s.begin(), s.end()),
+            FoFormula::And(base_s, trcl));
+        return FoFormula::Or(base_out, closure_case);
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+ private:
+  Vars3 Fresh3() {
+    Vars3 v = {next_var_, next_var_ + 1, next_var_ + 2};
+    next_var_ += 3;
+    return v;
+  }
+
+  static int PosVar(Pos p, const Vars3& l, const Vars3& r) {
+    return IsLeftPos(p) ? l[PosColumn(p)] : r[PosColumn(p)];
+  }
+
+  // "x occurs in some triple" — the active-domain predicate used to
+  // expand U (the paper's occurs trick).
+  Result<FoPtr> InAdom(int var) {
+    if (store_.NumRelations() == 0) {
+      return Status::InvalidArgument("U over a store without relations");
+    }
+    Vars3 ab = Fresh3();
+    FoPtr any;
+    for (RelId rel = 0; rel < store_.NumRelations(); ++rel) {
+      std::string name(store_.RelationName(rel));
+      FoPtr here = FoFormula::Or(
+          FoFormula::Or(
+              FoFormula::Atom(name, FoTerm::V(var), FoTerm::V(ab[0]),
+                              FoTerm::V(ab[1])),
+              FoFormula::Atom(name, FoTerm::V(ab[0]), FoTerm::V(var),
+                              FoTerm::V(ab[1]))),
+          FoFormula::Atom(name, FoTerm::V(ab[0]), FoTerm::V(ab[1]),
+                          FoTerm::V(var)));
+      any = any == nullptr ? here : FoFormula::Or(any, here);
+    }
+    return FoFormula::ExistsAll({ab[0], ab[1]}, any);
+  }
+
+  Result<FoPtr> CondFormula(const CondSet& cond, const Vars3& l,
+                            const Vars3& r) {
+    std::vector<FoPtr> parts;
+    auto term_of = [&](const ObjTerm& t) {
+      return t.is_pos ? FoTerm::V(PosVar(t.pos, l, r))
+                      : FoTerm::C(t.constant);
+    };
+    for (const ObjConstraint& c : cond.theta) {
+      FoPtr eq = FoFormula::Eq(term_of(c.lhs), term_of(c.rhs));
+      parts.push_back(c.equal ? eq : FoFormula::Not(eq));
+    }
+    for (const DataConstraint& c : cond.eta) {
+      if (!c.lhs.is_pos || !c.rhs.is_pos) {
+        return Status::Unimplemented(
+            "η data-value constants have no ∼ counterpart (the paper's "
+            "translation assumes none)");
+      }
+      FoPtr sim = FoFormula::Sim(FoTerm::V(PosVar(c.lhs.pos, l, r)),
+                                 FoTerm::V(PosVar(c.rhs.pos, l, r)));
+      parts.push_back(c.equal ? sim : FoFormula::Not(sim));
+    }
+    if (parts.empty()) {
+      // Trivially true: x = x over any target variable.
+      parts.push_back(FoFormula::Eq(FoTerm::V(l[0]), FoTerm::V(l[0])));
+    }
+    return FoFormula::AndAll(std::move(parts));
+  }
+
+  const TripleStore& store_;
+  int next_var_ = 3;  // 0,1,2 are the result variables
+};
+
+}  // namespace
+
+Result<FoPtr> TriALToFo(const ExprPtr& e, const TripleStore& store) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  Translator t(store);
+  return t.Build(*e, {0, 1, 2});
+}
+
+}  // namespace trial

@@ -1,0 +1,34 @@
+// TriAL → FO and TriAL* → FO+TrCl (Theorem 4 part 1, Theorem 6 part 1),
+// constructively.
+//
+// Given target variables (v0, v1, v2), the translation produces a
+// formula whose satisfying assignments over those variables are exactly
+// the triples of the expression.  The paper shows six variables suffice
+// by reusing quantified variables; this implementation allocates fresh
+// variables instead (semantically identical — our evaluator is
+// variable-count agnostic), so the machine-checkable content here is the
+// *equivalence* of the translation; the six-variable bound itself is a
+// syntactic refinement witnessed by the separation tests.
+
+#ifndef TRIAL_FO_TRIAL_TO_FO_H_
+#define TRIAL_FO_TRIAL_TO_FO_H_
+
+#include <array>
+
+#include "core/expr.h"
+#include "fo/formula.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Compiles `e` into a formula with free variables {0, 1, 2} holding
+/// exactly on e's output triples.  The store provides relation names for
+/// expanding U and the value of η constants.  Errors: kUnimplemented for
+/// η data-value constants (no counterpart among ∼ atoms), kNotFound for
+/// unknown relations.
+Result<FoPtr> TriALToFo(const ExprPtr& e, const TripleStore& store);
+
+}  // namespace trial
+
+#endif  // TRIAL_FO_TRIAL_TO_FO_H_

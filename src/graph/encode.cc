@@ -1,0 +1,35 @@
+#include "graph/encode.h"
+
+namespace trial {
+
+TripleStore GraphToTripleStore(const Graph& g, const std::string& rel) {
+  TripleStore store;
+  store.AddRelation(rel);
+  // Intern all nodes first so node data values land on the right ids.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ObjId id = store.InternObject(g.NodeName(v));
+    store.SetValue(id, g.Value(v));
+  }
+  for (const Edge& e : g.edges()) {
+    store.Add(rel, g.NodeName(e.from), g.LabelName(e.label),
+              g.NodeName(e.to));
+  }
+  return store;
+}
+
+Graph TripleStoreToGraph(const TripleStore& store, const std::string& rel) {
+  Graph g;
+  const TripleSet* set = store.FindRelation(rel);
+  if (set == nullptr) return g;
+  for (const Triple& t : *set) {
+    NodeId u = g.AddNode(store.ObjectName(t.s));
+    LabelId a = g.AddLabel(store.ObjectName(t.p));
+    NodeId v = g.AddNode(store.ObjectName(t.o));
+    g.AddEdge(u, a, v);
+    g.SetValue(u, store.Value(t.s));
+    g.SetValue(v, store.Value(t.o));
+  }
+  return g;
+}
+
+}  // namespace trial

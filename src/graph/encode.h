@@ -1,0 +1,33 @@
+// Encodings between graph databases and triplestores (Section 6.2).
+//
+// A graph database G = (V, E, ρ) over Σ becomes the triplestore
+// T_G = (O, E, ρ) with O = V ∪ Σ: each edge (u, a, v) is stored as the
+// triple (u, a, v), with the label a now a first-class object.  Label
+// objects carry no data value ("nodes corresponding to labels have no
+// data values assigned in our model").
+
+#ifndef TRIAL_GRAPH_ENCODE_H_
+#define TRIAL_GRAPH_ENCODE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// Builds T_G from a graph database.  All edges land in the relation
+/// named `rel` (default "E").  Node names and label names share the
+/// object dictionary; a label with the same name as a node denotes the
+/// same object, as in the paper's O = V ∪ Σ.
+TripleStore GraphToTripleStore(const Graph& g, const std::string& rel = "E");
+
+/// Inverse view: reads relation `rel` of a triplestore as a graph whose
+/// labels are the middle elements.  (Lossy in general — exactly the
+/// paper's point — but exact for stores built by GraphToTripleStore.)
+Graph TripleStoreToGraph(const TripleStore& store,
+                         const std::string& rel = "E");
+
+}  // namespace trial
+
+#endif  // TRIAL_GRAPH_ENCODE_H_

@@ -1,0 +1,180 @@
+#include "graph/generators.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace trial {
+namespace {
+
+std::string Name(const char* prefix, size_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+}  // namespace
+
+TripleStore RandomTripleStore(const RandomStoreOptions& opts) {
+  Rng rng(opts.seed);
+  TripleStore store;
+  std::vector<ObjId> ids;
+  ids.reserve(opts.num_objects);
+  for (size_t i = 0; i < opts.num_objects; ++i) {
+    ObjId id = store.InternObject(Name("o", i));
+    if (opts.num_data_values > 0) {
+      store.SetValue(id, DataValue::Int(static_cast<int64_t>(
+                             rng.Below(opts.num_data_values))));
+    }
+    ids.push_back(id);
+  }
+  for (size_t r = 0; r < opts.num_relations; ++r) {
+    std::string rel = r == 0 ? "E" : Name("E", r);
+    RelId rel_id = store.AddRelation(rel);
+    for (size_t t = 0; t < opts.num_triples; ++t) {
+      store.Add(rel_id, ids[rng.Below(ids.size())], ids[rng.Below(ids.size())],
+                ids[rng.Below(ids.size())]);
+    }
+  }
+  return store;
+}
+
+Graph RandomGraph(const RandomGraphOptions& opts) {
+  Rng rng(opts.seed);
+  Graph g;
+  for (size_t i = 0; i < opts.num_nodes; ++i) {
+    NodeId v = g.AddNode(Name("v", i));
+    if (opts.num_data_values > 0) {
+      g.SetValue(v, DataValue::Int(static_cast<int64_t>(
+                        rng.Below(opts.num_data_values))));
+    }
+  }
+  for (size_t i = 0; i < opts.num_labels; ++i) {
+    g.AddLabel(std::string(1, static_cast<char>('a' + (i % 26))) +
+               (i >= 26 ? std::to_string(i / 26) : ""));
+  }
+  for (size_t i = 0; i < opts.num_edges; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.Below(opts.num_nodes)),
+              static_cast<LabelId>(rng.Below(opts.num_labels)),
+              static_cast<NodeId>(rng.Below(opts.num_nodes)));
+  }
+  return g;
+}
+
+TripleStore TransportNetwork(const TransportOptions& opts) {
+  Rng rng(opts.seed);
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+
+  std::vector<ObjId> cities, services, companies;
+  for (size_t i = 0; i < opts.num_cities; ++i) {
+    cities.push_back(store.InternObject(Name("city", i)));
+  }
+  for (size_t i = 0; i < opts.num_services; ++i) {
+    services.push_back(store.InternObject(Name("svc", i)));
+  }
+  for (size_t i = 0; i < opts.num_companies; ++i) {
+    companies.push_back(store.InternObject(Name("co", i)));
+  }
+  ObjId part_of = store.InternObject("part_of");
+
+  // Line of city hops, each served by a random service.
+  for (size_t i = 0; i + 1 < opts.num_cities; ++i) {
+    store.Add(rel, cities[i], services[rng.Below(services.size())],
+              cities[i + 1]);
+  }
+  // Extra random hops.
+  size_t extra = static_cast<size_t>(
+      static_cast<double>(opts.num_cities) * opts.extra_edge_fraction);
+  for (size_t i = 0; i < extra; ++i) {
+    ObjId a = cities[rng.Below(cities.size())];
+    ObjId b = cities[rng.Below(cities.size())];
+    if (a != b) store.Add(rel, a, services[rng.Below(services.size())], b);
+  }
+  // part_of forest: every service hangs under a chain of depth
+  // `hierarchy_depth` rooted at a company.
+  for (ObjId svc : services) {
+    ObjId current = svc;
+    for (size_t d = 0; d < opts.hierarchy_depth; ++d) {
+      ObjId parent =
+          d + 1 == opts.hierarchy_depth
+              ? companies[rng.Below(companies.size())]
+              : store.InternObject(
+                    Name("grp", rng.Below(opts.num_services * 4)));
+      store.Add(rel, current, part_of, parent);
+      current = parent;
+    }
+  }
+  return store;
+}
+
+TripleStore SocialNetwork(const SocialOptions& opts) {
+  Rng rng(opts.seed);
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  std::vector<ObjId> users;
+  for (size_t i = 0; i < opts.num_users; ++i) {
+    ObjId u = store.InternObject(Name("user", i));
+    store.SetValue(
+        u, DataValue::Tuple({DataValue::Str(Name("name", i)),
+                             DataValue::Str(Name("mail", i) + "@example.com"),
+                             DataValue::Int(18 + rng.Range(0, 60)),
+                             DataValue::Null(), DataValue::Null()}));
+    users.push_back(u);
+  }
+  for (size_t i = 0; i < opts.num_connections; ++i) {
+    ObjId a = users[rng.Below(users.size())];
+    ObjId b = users[rng.Below(users.size())];
+    if (a == b) continue;
+    ObjId c = store.InternObject(Name("conn", i));
+    store.SetValue(
+        c, DataValue::Tuple({DataValue::Null(), DataValue::Null(),
+                             DataValue::Null(),
+                             DataValue::Str(Name("type", rng.Below(opts.num_types))),
+                             DataValue::Int(static_cast<int64_t>(
+                                 20000101 + rng.Below(opts.num_dates)))}));
+    store.Add(rel, a, c, b);
+  }
+  return store;
+}
+
+Graph CliqueGraph(size_t n, const std::string& label) {
+  Graph g;
+  LabelId a = g.AddLabel(label);
+  for (size_t i = 0; i < n; ++i) g.AddNode(Name("v", i));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        g.AddEdge(static_cast<NodeId>(i), a, static_cast<NodeId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph ChainGraph(size_t n, const std::string& label) {
+  Graph g;
+  LabelId a = g.AddLabel(label);
+  for (size_t i = 0; i < n; ++i) g.AddNode(Name("v", i));
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<NodeId>(i), a, static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+TripleStore CubeStore(size_t n) {
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  std::vector<ObjId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    ObjId id = store.InternObject(Name("o", i));
+    store.SetValue(id, DataValue::Int(1));
+    ids.push_back(id);
+  }
+  for (ObjId a : ids) {
+    for (ObjId b : ids) {
+      for (ObjId c : ids) store.Add(rel, a, b, c);
+    }
+  }
+  return store;
+}
+
+}  // namespace trial

@@ -1,0 +1,87 @@
+// Synthetic workload generators for tests, examples and benchmarks.
+//
+// All generators are deterministic in their seed.  The transport and
+// social-network generators model the two motivating scenarios of the
+// paper (Figure 1 / query Q, and Section 2.3).
+
+#ifndef TRIAL_GRAPH_GENERATORS_H_
+#define TRIAL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// Options for RandomTripleStore.
+struct RandomStoreOptions {
+  size_t num_objects = 16;
+  size_t num_triples = 48;
+  size_t num_relations = 1;     ///< relations named "E", "E1", "E2", ...
+  size_t num_data_values = 4;   ///< ρ drawn from this many distinct ints
+  uint64_t seed = 1;
+};
+
+/// Uniform random triplestore; ρ assigns random small integers, so η
+/// conditions are selective but satisfiable.
+TripleStore RandomTripleStore(const RandomStoreOptions& opts);
+
+/// Options for RandomGraph.
+struct RandomGraphOptions {
+  size_t num_nodes = 16;
+  size_t num_edges = 40;
+  size_t num_labels = 3;        ///< labels "a", "b", "c", ...
+  size_t num_data_values = 4;   ///< 0 = leave all node values null
+  uint64_t seed = 1;
+};
+
+/// Uniform random edge-labeled graph.
+Graph RandomGraph(const RandomGraphOptions& opts);
+
+/// Options for TransportNetwork (the Figure 1 / query Q workload).
+struct TransportOptions {
+  size_t num_cities = 10;        ///< cities form a line c0 -> c1 -> ...
+  size_t num_services = 6;       ///< transport services (edge middles)
+  size_t num_companies = 3;      ///< roots of the part_of forest
+  size_t hierarchy_depth = 2;    ///< length of part_of chains
+  double extra_edge_fraction = 0.3;  ///< extra random city hops
+  uint64_t seed = 1;
+};
+
+/// A triplestore in the shape of Figure 1: relation "E" holds city
+/// connections (city, service, city) *and* the operator hierarchy
+/// (service/company, part_of, company), exactly as in the paper where a
+/// single ternary relation stores both kinds of triples.  The object
+/// "part_of" names the hierarchy predicate.
+TripleStore TransportNetwork(const TransportOptions& opts);
+
+/// Options for SocialNetwork (Section 2.3).
+struct SocialOptions {
+  size_t num_users = 20;
+  size_t num_connections = 40;
+  size_t num_types = 3;   ///< connection types ("type0", ...)
+  size_t num_dates = 5;   ///< distinct creation dates
+  uint64_t seed = 1;
+};
+
+/// A triplestore whose triples are (user, connection, user) and whose ρ
+/// assigns quintuple values (name, email, age, type, created) with nulls
+/// in the irrelevant components, as in the paper's example.
+TripleStore SocialNetwork(const SocialOptions& opts);
+
+/// n-node directed clique over one label (with self loops excluded).
+Graph CliqueGraph(size_t n, const std::string& label = "a");
+
+/// Directed chain v0 -a-> v1 -a-> ... of n nodes.
+Graph ChainGraph(size_t n, const std::string& label = "a");
+
+/// Full cube store: relation "E" = O³ over n objects, all with the same
+/// data value.  These are the T_k structures separating finite-variable
+/// logics in Theorem 4.
+TripleStore CubeStore(size_t n);
+
+}  // namespace trial
+
+#endif  // TRIAL_GRAPH_GENERATORS_H_

@@ -1,0 +1,95 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace trial {
+
+NodeId Graph::AddNode(std::string_view name) {
+  NodeId id = nodes_.Intern(name);
+  if (id >= rho_.size()) rho_.resize(id + 1);
+  return id;
+}
+
+LabelId Graph::AddLabel(std::string_view name) { return labels_.Intern(name); }
+
+void Graph::AddEdge(std::string_view u, std::string_view label,
+                    std::string_view v) {
+  AddEdge(AddNode(u), AddLabel(label), AddNode(v));
+}
+
+void Graph::AddEdge(NodeId u, LabelId a, NodeId v) {
+  edges_.push_back(Edge{u, a, v});
+}
+
+void Graph::SetValue(NodeId node, DataValue v) {
+  if (node >= rho_.size()) rho_.resize(node + 1);
+  rho_[node] = std::move(v);
+}
+
+const DataValue& Graph::Value(NodeId node) const {
+  static const DataValue kNull;
+  return node < rho_.size() ? rho_[node] : kNull;
+}
+
+void Graph::EnsureAdjacency() const {
+  if (adj_built_for_ == edges_.size() && out_adj_.size() == NumNodes()) {
+    return;
+  }
+  out_adj_.assign(NumNodes(), {});
+  in_adj_.assign(NumNodes(), {});
+  for (const Edge& e : edges_) {
+    out_adj_[e.from].emplace_back(e.label, e.to);
+    in_adj_[e.to].emplace_back(e.label, e.from);
+  }
+  adj_built_for_ = edges_.size();
+}
+
+std::vector<NodeId> Graph::Successors(NodeId u, LabelId a) const {
+  std::vector<NodeId> out;
+  for (auto [label, v] : Out(u)) {
+    if (label == a) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::Predecessors(NodeId u, LabelId a) const {
+  std::vector<NodeId> out;
+  for (auto [label, v] : In(u)) {
+    if (label == a) out.push_back(v);
+  }
+  return out;
+}
+
+const std::vector<std::pair<LabelId, NodeId>>& Graph::Out(NodeId u) const {
+  EnsureAdjacency();
+  return out_adj_[u];
+}
+
+const std::vector<std::pair<LabelId, NodeId>>& Graph::In(NodeId u) const {
+  EnsureAdjacency();
+  return in_adj_[u];
+}
+
+bool Graph::SameNamedGraph(const Graph& other) const {
+  auto named_edges = [](const Graph& g) {
+    std::set<std::tuple<std::string, std::string, std::string>> out;
+    for (const Edge& e : g.edges()) {
+      out.emplace(std::string(g.NodeName(e.from)),
+                  std::string(g.LabelName(e.label)),
+                  std::string(g.NodeName(e.to)));
+    }
+    return out;
+  };
+  auto named_nodes = [](const Graph& g) {
+    std::set<std::string> out;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      out.emplace(g.NodeName(v));
+    }
+    return out;
+  };
+  return named_nodes(*this) == named_nodes(other) &&
+         named_edges(*this) == named_edges(other);
+}
+
+}  // namespace trial

@@ -1,0 +1,100 @@
+// Graph databases (Section 2.1): finite edge-labeled graphs
+// G = (V, E, ρ) with E ⊆ V × Σ × V and an optional data value on each
+// node.  This is the model that RPQs, NREs and GXPath are defined over.
+
+#ifndef TRIAL_GRAPH_GRAPH_H_
+#define TRIAL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/data_value.h"
+#include "util/interner.h"
+
+namespace trial {
+
+/// Node id inside a Graph.
+using NodeId = uint32_t;
+/// Label id inside a Graph's alphabet Σ.
+using LabelId = uint32_t;
+
+/// A labeled edge (u, a, v).
+struct Edge {
+  NodeId from;
+  LabelId label;
+  NodeId to;
+
+  friend bool operator==(const Edge& x, const Edge& y) {
+    return x.from == y.from && x.label == y.label && x.to == y.to;
+  }
+  friend bool operator<(const Edge& x, const Edge& y) {
+    if (x.from != y.from) return x.from < y.from;
+    if (x.label != y.label) return x.label < y.label;
+    return x.to < y.to;
+  }
+};
+
+/// An edge-labeled graph database with optional node data values.
+class Graph {
+ public:
+  /// Adds (or finds) a node by name.
+  NodeId AddNode(std::string_view name);
+  /// Adds (or finds) a label in Σ.
+  LabelId AddLabel(std::string_view name);
+
+  /// Adds an edge; nodes/labels are interned on the fly.
+  void AddEdge(std::string_view u, std::string_view label,
+               std::string_view v);
+  void AddEdge(NodeId u, LabelId a, NodeId v);
+
+  /// Sets ρ(node).
+  void SetValue(NodeId node, DataValue v);
+  /// ρ(node); null when unset.
+  const DataValue& Value(NodeId node) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumLabels() const { return labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  std::string_view NodeName(NodeId id) const { return nodes_.Get(id); }
+  std::string_view LabelName(LabelId id) const { return labels_.Get(id); }
+  NodeId FindNode(std::string_view name) const { return nodes_.TryGet(name); }
+  LabelId FindLabel(std::string_view name) const {
+    return labels_.TryGet(name);
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing a-labeled neighbors of u (linear scan over the adjacency
+  /// list of u).
+  std::vector<NodeId> Successors(NodeId u, LabelId a) const;
+  /// Incoming: v such that (v, a, u) ∈ E.
+  std::vector<NodeId> Predecessors(NodeId u, LabelId a) const;
+
+  /// Out-adjacency (all labels): pairs (label, to).
+  const std::vector<std::pair<LabelId, NodeId>>& Out(NodeId u) const;
+  /// In-adjacency: pairs (label, from).
+  const std::vector<std::pair<LabelId, NodeId>>& In(NodeId u) const;
+
+  /// Edge-set equality against another graph under *name* matching:
+  /// true iff both graphs have the same named nodes, labels and edges.
+  /// Used to check σ(D1) = σ(D2) in Proposition 1.
+  bool SameNamedGraph(const Graph& other) const;
+
+ private:
+  StringInterner nodes_;
+  StringInterner labels_;
+  std::vector<Edge> edges_;
+  std::vector<DataValue> rho_;
+  mutable std::vector<std::vector<std::pair<LabelId, NodeId>>> out_adj_;
+  mutable std::vector<std::vector<std::pair<LabelId, NodeId>>> in_adj_;
+  mutable size_t adj_built_for_ = 0;  // #edges when adjacency was built
+
+  void EnsureAdjacency() const;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_GRAPH_GRAPH_H_

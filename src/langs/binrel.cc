@@ -1,0 +1,65 @@
+#include "langs/binrel.h"
+
+#include <map>
+
+namespace trial {
+
+BinRel Compose(const BinRel& r, const BinRel& s) {
+  // Index s by first component.
+  std::map<uint32_t, std::vector<uint32_t>> by_first;
+  for (const IdPair& p : s) by_first[p.first].push_back(p.second);
+  BinRel out;
+  for (const IdPair& p : r) {
+    auto it = by_first.find(p.second);
+    if (it == by_first.end()) continue;
+    for (uint32_t z : it->second) out.emplace(p.first, z);
+  }
+  return out;
+}
+
+BinRel ReflexiveTransitiveClosure(const BinRel& r, uint32_t n) {
+  std::map<uint32_t, std::vector<uint32_t>> adj;
+  for (const IdPair& p : r) adj[p.first].push_back(p.second);
+  BinRel out;
+  std::vector<bool> seen;
+  std::vector<uint32_t> stack;
+  for (uint32_t v = 0; v < n; ++v) {
+    seen.assign(n, false);
+    seen[v] = true;
+    stack.assign(1, v);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      out.emplace(v, u);
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (uint32_t w : it->second) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BinRel TestOf(const BinRel& r) {
+  BinRel out;
+  for (const IdPair& p : r) out.emplace(p.first, p.first);
+  return out;
+}
+
+BinRel Inverse(const BinRel& r) {
+  BinRel out;
+  for (const IdPair& p : r) out.emplace(p.second, p.first);
+  return out;
+}
+
+BinRel Diagonal(uint32_t n) {
+  BinRel out;
+  for (uint32_t v = 0; v < n; ++v) out.emplace(v, v);
+  return out;
+}
+
+}  // namespace trial

@@ -1,0 +1,38 @@
+// Binary relations over graph nodes: the value domain of RPQs, NREs and
+// GXPath (Section 2.1 / 6.2).
+
+#ifndef TRIAL_LANGS_BINREL_H_
+#define TRIAL_LANGS_BINREL_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace trial {
+
+/// A pair of node (or object) ids.
+using IdPair = std::pair<uint32_t, uint32_t>;
+
+/// A set of pairs; the result type of binary graph queries.
+using BinRel = std::set<IdPair>;
+
+/// R ∘ S = {(x,z) : ∃y (x,y) ∈ R ∧ (y,z) ∈ S}.
+BinRel Compose(const BinRel& r, const BinRel& s);
+
+/// Reflexive-transitive closure of `r` over the universe [0, n):
+/// ε ∪ r ∪ r∘r ∪ ...  (the semantics of e* for NREs and α* for GXPath).
+BinRel ReflexiveTransitiveClosure(const BinRel& r, uint32_t n);
+
+/// {(u,u) : ∃v (u,v) ∈ r} — the node test [e].
+BinRel TestOf(const BinRel& r);
+
+/// {(v,u) : (u,v) ∈ r}.
+BinRel Inverse(const BinRel& r);
+
+/// Diagonal over [0, n).
+BinRel Diagonal(uint32_t n);
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_BINREL_H_

@@ -1,0 +1,307 @@
+#include "langs/compile.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/builder.h"
+
+namespace trial {
+namespace {
+
+// Canonicalizing join spec: keep triples (u, u, v) composed.
+JoinSpec ComposeSpec() {
+  return Spec(Pos::P1, Pos::P1, Pos::P3p, {Eq(Pos::P3, Pos::P1p)});
+}
+
+JoinSpec IdentitySpec(Pos i, Pos j, Pos k) {
+  return Spec(i, j, k,
+              {Eq(Pos::P1, Pos::P1p), Eq(Pos::P2, Pos::P2p),
+               Eq(Pos::P3, Pos::P3p)});
+}
+
+}  // namespace
+
+GraphQueryCompiler::GraphQueryCompiler(const TripleStore& store,
+                                       std::vector<std::string> labels,
+                                       std::string rel)
+    : store_(store), rel_(std::move(rel)) {
+  for (const std::string& name : labels) {
+    ObjId id = store.FindObject(name);
+    if (id != kInvalidIntern) label_ids_.push_back(id);
+  }
+}
+
+std::vector<ObjConstraint> GraphQueryCompiler::NodeOnly(Pos p) const {
+  std::vector<ObjConstraint> out;
+  out.reserve(label_ids_.size());
+  for (ObjId lab : label_ids_) out.push_back(NeqConst(p, lab));
+  return out;
+}
+
+ExprPtr GraphQueryCompiler::AllPairs() const {
+  JoinSpec spec = Spec(Pos::P1, Pos::P1, Pos::P3p, NodeOnly(Pos::P1));
+  for (const ObjConstraint& c : NodeOnly(Pos::P3p)) {
+    spec.cond.theta.push_back(c);
+  }
+  return Expr::Join(Expr::Universe(), Expr::Universe(), spec);
+}
+
+ExprPtr GraphQueryCompiler::NodeDiag() const {
+  JoinSpec spec = Spec(Pos::P1, Pos::P1, Pos::P1, NodeOnly(Pos::P1));
+  return Expr::Join(Expr::Universe(), Expr::Universe(), spec);
+}
+
+ExprPtr GraphQueryCompiler::LabelRel(const std::string& label,
+                                     bool inverse) const {
+  ObjId id = store_.FindObject(label);
+  if (id == kInvalidIntern) return Expr::Empty();
+  CondSet cond;
+  cond.theta.push_back(EqConst(Pos::P2, id));
+  ExprPtr edges = Expr::Select(Expr::Rel(rel_), cond);
+  // Canonicalize (u, a, v) to (u, u, v) — or (v, v, u) for the inverse.
+  JoinSpec spec = inverse ? IdentitySpec(Pos::P3, Pos::P3, Pos::P1)
+                          : IdentitySpec(Pos::P1, Pos::P1, Pos::P3);
+  return Expr::Join(edges, edges, spec);
+}
+
+Result<ExprPtr> GraphQueryCompiler::CompileNre(const NrePtr& e) const {
+  switch (e->kind()) {
+    case Nre::Kind::kEps:
+      return NodeDiag();
+    case Nre::Kind::kLabel:
+      return LabelRel(e->label(), e->inverse());
+    case Nre::Kind::kConcat: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNre(e->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompileNre(e->b()));
+      return Expr::Join(a, b, ComposeSpec());
+    }
+    case Nre::Kind::kUnion: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNre(e->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompileNre(e->b()));
+      return Expr::Union(a, b);
+    }
+    case Nre::Kind::kStar: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNre(e->a()));
+      return Expr::Union(NodeDiag(), Expr::StarRight(a, ComposeSpec()));
+    }
+    case Nre::Kind::kTest: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNre(e->a()));
+      return Expr::Join(a, a, Spec(Pos::P1, Pos::P1, Pos::P1));
+    }
+  }
+  return Status::Internal("unknown NRE kind");
+}
+
+Result<ExprPtr> GraphQueryCompiler::CompilePath(const GxPathPtr& alpha) const {
+  switch (alpha->kind()) {
+    case GxPath::Kind::kEps:
+      return NodeDiag();
+    case GxPath::Kind::kLabel:
+      return LabelRel(alpha->label(), alpha->inverse());
+    case GxPath::Kind::kTest:
+      return CompileNode(alpha->test());
+    case GxPath::Kind::kConcat: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompilePath(alpha->b()));
+      return Expr::Join(a, b, ComposeSpec());
+    }
+    case GxPath::Kind::kUnion: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompilePath(alpha->b()));
+      return Expr::Union(a, b);
+    }
+    case GxPath::Kind::kComplement: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      return Expr::Diff(AllPairs(), a);
+    }
+    case GxPath::Kind::kStar: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      return Expr::Union(NodeDiag(), Expr::StarRight(a, ComposeSpec()));
+    }
+    case GxPath::Kind::kDataEq: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      CondSet cond;
+      cond.eta.push_back(DataEq(Pos::P1, Pos::P3));
+      return Expr::Select(a, cond);
+    }
+    case GxPath::Kind::kDataNeq: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(alpha->a()));
+      CondSet cond;
+      cond.eta.push_back(DataNeq(Pos::P1, Pos::P3));
+      return Expr::Select(a, cond);
+    }
+  }
+  return Status::Internal("unknown GXPath kind");
+}
+
+Result<ExprPtr> GraphQueryCompiler::CompileNode(const GxNodePtr& phi) const {
+  switch (phi->kind()) {
+    case GxNode::Kind::kTop:
+      return NodeDiag();
+    case GxNode::Kind::kNot: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNode(phi->a()));
+      return Expr::Diff(NodeDiag(), a);
+    }
+    case GxNode::Kind::kAnd: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNode(phi->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompileNode(phi->b()));
+      return Expr::Intersect(a, b);
+    }
+    case GxNode::Kind::kOr: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompileNode(phi->a()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompileNode(phi->b()));
+      return Expr::Union(a, b);
+    }
+    case GxNode::Kind::kDiamond: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(phi->alpha()));
+      return Expr::Join(a, a, Spec(Pos::P1, Pos::P1, Pos::P1));
+    }
+    case GxNode::Kind::kCmpEq:
+    case GxNode::Kind::kCmpNeq: {
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr a, CompilePath(phi->alpha()));
+      TRIAL_ASSIGN_OR_RETURN(ExprPtr b, CompilePath(phi->beta()));
+      JoinSpec spec = Spec(Pos::P1, Pos::P1, Pos::P1, {Eq(Pos::P1, Pos::P1p)});
+      spec.cond.eta.push_back(phi->kind() == GxNode::Kind::kCmpEq
+                                  ? DataEq(Pos::P3, Pos::P3p)
+                                  : DataNeq(Pos::P3, Pos::P3p));
+      return Expr::Join(a, b, spec);
+    }
+  }
+  return Status::Internal("unknown GXPath node kind");
+}
+
+// ---- CNREs ----------------------------------------------------------------
+
+Result<std::vector<std::vector<NodeId>>> EvalCnre(const Cnre& q,
+                                                  const Graph& g) {
+  // Sanity: every variable occurs in some atom; free_vars ⊆ vars.
+  for (const std::string& v : q.free_vars) {
+    if (std::find(q.vars.begin(), q.vars.end(), v) == q.vars.end()) {
+      return Status::InvalidArgument("free variable not declared: " + v);
+    }
+  }
+  std::map<std::string, bool> covered;
+  for (const std::string& v : q.vars) covered[v] = false;
+  std::vector<BinRel> rels;
+  rels.reserve(q.atoms.size());
+  for (const Cnre::Atom& a : q.atoms) {
+    if (covered.count(a.from) == 0 || covered.count(a.to) == 0) {
+      return Status::InvalidArgument("atom uses undeclared variable");
+    }
+    covered[a.from] = covered[a.to] = true;
+    rels.push_back(EvalNre(a.nre, g));
+  }
+  for (auto& [v, c] : covered) {
+    if (!c) {
+      return Status::InvalidArgument("variable in no atom: " + v);
+    }
+  }
+
+  std::set<std::vector<NodeId>> results;
+  std::map<std::string, NodeId> env;
+  std::function<void(size_t)> match = [&](size_t i) {
+    if (i == q.atoms.size()) {
+      std::vector<NodeId> tuple;
+      for (const std::string& v : q.free_vars) tuple.push_back(env.at(v));
+      results.insert(std::move(tuple));
+      return;
+    }
+    const Cnre::Atom& a = q.atoms[i];
+    auto from_it = env.find(a.from);
+    auto to_it = env.find(a.to);
+    for (const IdPair& p : rels[i]) {
+      if (from_it != env.end() && from_it->second != p.first) continue;
+      if (to_it != env.end() && to_it->second != p.second) continue;
+      bool bound_from = from_it == env.end();
+      bool bound_to = false;
+      if (bound_from) env[a.from] = p.first;
+      // Re-check `to` after potentially binding `from` (self-loops with
+      // a.from == a.to).
+      auto to2 = env.find(a.to);
+      if (to2 == env.end()) {
+        env[a.to] = p.second;
+        bound_to = true;
+      } else if (to2->second != p.second) {
+        if (bound_from) env.erase(a.from);
+        continue;
+      }
+      match(i + 1);
+      if (bound_to) env.erase(a.to);
+      if (bound_from) env.erase(a.from);
+    }
+  };
+  match(0);
+  return std::vector<std::vector<NodeId>>(results.begin(), results.end());
+}
+
+Result<ExprPtr> CompileCnre3(const Cnre& q, const GraphQueryCompiler& ctx) {
+  if (q.vars.size() > 3) {
+    return Status::InvalidArgument(
+        "CompileCnre3 handles at most three variables (Theorem 8 is an "
+        "incomparability result beyond that)");
+  }
+  if (q.atoms.empty()) {
+    return Status::InvalidArgument("CNRE needs at least one atom");
+  }
+  auto slot_of = [&](const std::string& v) -> int {
+    for (size_t i = 0; i < q.vars.size(); ++i) {
+      if (q.vars[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  constexpr Pos kSlotPos[3] = {Pos::P1, Pos::P2, Pos::P3};
+
+  ExprPtr conj;
+  for (const Cnre::Atom& atom : q.atoms) {
+    TRIAL_ASSIGN_OR_RETURN(ExprPtr rel, ctx.CompileNre(atom.nre));
+    int su = slot_of(atom.from);
+    int sv = slot_of(atom.to);
+    if (su < 0 || sv < 0) {
+      return Status::InvalidArgument("atom variable not declared");
+    }
+    JoinSpec spec;
+    int free_i = 0;
+    if (su == sv) {
+      // (x --e--> x): restrict to loops first.
+      CondSet loop;
+      loop.theta.push_back(Eq(Pos::P1, Pos::P3));
+      rel = Expr::Select(rel, loop);
+    }
+    for (int slot = 0; slot < 3; ++slot) {
+      if (slot == su) {
+        spec.out[slot] = Pos::P1;
+      } else if (slot == sv) {
+        spec.out[slot] = Pos::P3;
+      } else {
+        // Unconstrained slot: any *node* object, drawn from AllPairs
+        // (whose subject and object positions are both node-only and
+        // range independently).
+        spec.out[slot] = free_i == 0 ? Pos::P1p : Pos::P3p;
+        ++free_i;
+      }
+    }
+    ExprPtr arranged = Expr::Join(rel, ctx.AllPairs(), spec);
+    conj = conj == nullptr ? arranged : Expr::Intersect(conj, arranged);
+  }
+
+  // Existentially quantify the non-free variables: replace their slot
+  // with an arbitrary node value.
+  for (size_t i = 0; i < q.vars.size(); ++i) {
+    bool is_free =
+        std::find(q.free_vars.begin(), q.free_vars.end(), q.vars[i]) !=
+        q.free_vars.end();
+    if (is_free) continue;
+    JoinSpec spec;
+    for (int slot = 0; slot < 3; ++slot) {
+      spec.out[slot] = static_cast<size_t>(slot) == i
+                           ? Pos::P1p  // subject of AllPairs: node-only
+                           : kSlotPos[slot];
+    }
+    conj = Expr::Join(conj, ctx.AllPairs(), spec);
+  }
+  return conj;
+}
+
+}  // namespace trial

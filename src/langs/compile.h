@@ -1,0 +1,91 @@
+// Compilers from graph query languages into TriAL(*) — the constructive
+// halves of Theorem 7 (GXPath), Corollary 2 (NREs, RPQs), Corollary 4
+// (GXPath(∼)) and Theorem 8 (3-variable CNREs).
+//
+// Conventions (Section 6.2): a graph database G is encoded as the
+// triplestore T_G = GraphToTripleStore(G) with objects V ∪ Σ; a binary
+// query α corresponds to a triple query e via π₁,₃.  Internally every
+// compiled binary relation is kept in the *canonical form*
+// {(u, u, v)} — middle equal to subject — so that complement, which in
+// TriAL is relative to U = (V ∪ Σ)³, can be confined to node pairs by
+// excluding the label objects with θ-inequalities (the same trick the
+// paper uses in the proof of Theorem 8).
+//
+// One deliberate deviation: the paper's table maps α* to a bare Kleene
+// star, but GXPath's α* is *reflexive*-transitive while the TriAL star
+// unions join powers of α (length >= 1).  The compiler adds the
+// diagonal, which is what the equivalence requires.
+
+#ifndef TRIAL_LANGS_COMPILE_H_
+#define TRIAL_LANGS_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "langs/gxpath.h"
+#include "langs/nre.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Shared context: the encoded store T_G and the graph's alphabet, whose
+/// objects must be excluded from node universes.
+class GraphQueryCompiler {
+ public:
+  /// `labels` is the graph's alphabet Σ (names).  Labels that never
+  /// occur in the store are ignored (they denote no object).
+  GraphQueryCompiler(const TripleStore& store,
+                     std::vector<std::string> labels,
+                     std::string rel = "E");
+
+  /// NRE / RPQ → TriAL* (Corollary 2).
+  Result<ExprPtr> CompileNre(const NrePtr& e) const;
+
+  /// GXPath(∼) path expression → TriAL* (Theorem 7 / Corollary 4).
+  Result<ExprPtr> CompilePath(const GxPathPtr& alpha) const;
+
+  /// GXPath node expression → TriAL* in diagonal form {(u,u,u)}.
+  Result<ExprPtr> CompileNode(const GxNodePtr& phi) const;
+
+  /// {(u,u,v)} over node objects — the binary universe.
+  ExprPtr AllPairs() const;
+  /// {(u,u,u)} over node objects — the node universe.
+  ExprPtr NodeDiag() const;
+
+ private:
+  /// θ atoms pinning position `p` away from every label object.
+  std::vector<ObjConstraint> NodeOnly(Pos p) const;
+  /// Canonical relation for one edge label (or its inverse).
+  ExprPtr LabelRel(const std::string& label, bool inverse) const;
+
+  const TripleStore& store_;
+  std::string rel_;
+  std::vector<ObjId> label_ids_;
+};
+
+/// A conjunctive NRE  φ(free) = ∃(vars \ free) ⋀ (from_i --e_i--> to_i).
+struct Cnre {
+  struct Atom {
+    std::string from, to;
+    NrePtr nre;
+  };
+  std::vector<std::string> vars;       ///< all variables (order = slots)
+  std::vector<std::string> free_vars;  ///< answer variables ⊆ vars
+  std::vector<Atom> atoms;
+};
+
+/// Direct evaluation over a graph: the set of tuples over free_vars
+/// (in their declared order).
+Result<std::vector<std::vector<NodeId>>> EvalCnre(const Cnre& q,
+                                                  const Graph& g);
+
+/// Theorem 8(2): any (U)CNRE over at most three variables compiles into
+/// TriAL*.  The result's slot i carries variable vars[i]; non-free slots
+/// hold arbitrary node values (projection happens at the API edge).
+Result<ExprPtr> CompileCnre3(const Cnre& q, const GraphQueryCompiler& ctx);
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_COMPILE_H_

@@ -1,0 +1,296 @@
+#include "langs/gxpath.h"
+
+namespace trial {
+
+GxPathPtr GxPath::Make(Kind k, std::string label, bool inv, GxPathPtr a,
+                       GxPathPtr b, GxNodePtr test) {
+  struct Access : GxPath {
+    Access(Kind k, std::string l, bool i, GxPathPtr a, GxPathPtr b,
+           GxNodePtr t)
+        : GxPath(k, std::move(l), i, std::move(a), std::move(b),
+                 std::move(t)) {}
+  };
+  return std::make_shared<const Access>(k, std::move(label), inv,
+                                        std::move(a), std::move(b),
+                                        std::move(test));
+}
+
+GxPathPtr GxPath::Eps() {
+  return Make(Kind::kEps, "", false, nullptr, nullptr, nullptr);
+}
+GxPathPtr GxPath::Label(std::string name, bool inverse) {
+  return Make(Kind::kLabel, std::move(name), inverse, nullptr, nullptr,
+              nullptr);
+}
+GxPathPtr GxPath::Test(GxNodePtr phi) {
+  return Make(Kind::kTest, "", false, nullptr, nullptr, std::move(phi));
+}
+GxPathPtr GxPath::Concat(GxPathPtr a, GxPathPtr b) {
+  return Make(Kind::kConcat, "", false, std::move(a), std::move(b), nullptr);
+}
+GxPathPtr GxPath::Alt(GxPathPtr a, GxPathPtr b) {
+  return Make(Kind::kUnion, "", false, std::move(a), std::move(b), nullptr);
+}
+GxPathPtr GxPath::Complement(GxPathPtr a) {
+  return Make(Kind::kComplement, "", false, std::move(a), nullptr, nullptr);
+}
+GxPathPtr GxPath::Star(GxPathPtr a) {
+  return Make(Kind::kStar, "", false, std::move(a), nullptr, nullptr);
+}
+GxPathPtr GxPath::DataEq(GxPathPtr a) {
+  return Make(Kind::kDataEq, "", false, std::move(a), nullptr, nullptr);
+}
+GxPathPtr GxPath::DataNeq(GxPathPtr a) {
+  return Make(Kind::kDataNeq, "", false, std::move(a), nullptr, nullptr);
+}
+
+bool GxPath::IsNavigational() const {
+  if (kind_ == Kind::kDataEq || kind_ == Kind::kDataNeq) return false;
+  if (kind_ == Kind::kTest) return test_->IsNavigational();
+  if (a_ && !a_->IsNavigational()) return false;
+  if (b_ && !b_->IsNavigational()) return false;
+  return true;
+}
+
+std::string GxPath::ToString() const {
+  switch (kind_) {
+    case Kind::kEps: return "eps";
+    case Kind::kLabel: return label_ + (inverse_ ? "-" : "");
+    case Kind::kTest: return "[" + test_->ToString() + "]";
+    case Kind::kConcat: return "(" + a_->ToString() + "." + b_->ToString() + ")";
+    case Kind::kUnion: return "(" + a_->ToString() + "+" + b_->ToString() + ")";
+    case Kind::kComplement: return "~(" + a_->ToString() + ")";
+    case Kind::kStar: return a_->ToString() + "*";
+    case Kind::kDataEq: return a_->ToString() + "=";
+    case Kind::kDataNeq: return a_->ToString() + "!=";
+  }
+  return "?";
+}
+
+GxNodePtr GxNode::Make(Kind k, GxNodePtr a, GxNodePtr b, GxPathPtr alpha,
+                       GxPathPtr beta) {
+  struct Access : GxNode {
+    Access(Kind k, GxNodePtr a, GxNodePtr b, GxPathPtr al, GxPathPtr be)
+        : GxNode(k, std::move(a), std::move(b), std::move(al),
+                 std::move(be)) {}
+  };
+  return std::make_shared<const Access>(k, std::move(a), std::move(b),
+                                        std::move(alpha), std::move(beta));
+}
+
+GxNodePtr GxNode::Top() {
+  return Make(Kind::kTop, nullptr, nullptr, nullptr, nullptr);
+}
+GxNodePtr GxNode::Not(GxNodePtr a) {
+  return Make(Kind::kNot, std::move(a), nullptr, nullptr, nullptr);
+}
+GxNodePtr GxNode::And(GxNodePtr a, GxNodePtr b) {
+  return Make(Kind::kAnd, std::move(a), std::move(b), nullptr, nullptr);
+}
+GxNodePtr GxNode::Or(GxNodePtr a, GxNodePtr b) {
+  return Make(Kind::kOr, std::move(a), std::move(b), nullptr, nullptr);
+}
+GxNodePtr GxNode::Diamond(GxPathPtr alpha) {
+  return Make(Kind::kDiamond, nullptr, nullptr, std::move(alpha), nullptr);
+}
+GxNodePtr GxNode::CmpEq(GxPathPtr alpha, GxPathPtr beta) {
+  return Make(Kind::kCmpEq, nullptr, nullptr, std::move(alpha),
+              std::move(beta));
+}
+GxNodePtr GxNode::CmpNeq(GxPathPtr alpha, GxPathPtr beta) {
+  return Make(Kind::kCmpNeq, nullptr, nullptr, std::move(alpha),
+              std::move(beta));
+}
+
+bool GxNode::IsNavigational() const {
+  if (kind_ == Kind::kCmpEq || kind_ == Kind::kCmpNeq) return false;
+  if (a_ && !a_->IsNavigational()) return false;
+  if (b_ && !b_->IsNavigational()) return false;
+  if (alpha_ && !alpha_->IsNavigational()) return false;
+  return true;
+}
+
+std::string GxNode::ToString() const {
+  switch (kind_) {
+    case Kind::kTop: return "T";
+    case Kind::kNot: return "!(" + a_->ToString() + ")";
+    case Kind::kAnd: return "(" + a_->ToString() + "&" + b_->ToString() + ")";
+    case Kind::kOr: return "(" + a_->ToString() + "|" + b_->ToString() + ")";
+    case Kind::kDiamond: return "<" + alpha_->ToString() + ">";
+    case Kind::kCmpEq:
+      return "<" + alpha_->ToString() + "=" + beta_->ToString() + ">";
+    case Kind::kCmpNeq:
+      return "<" + alpha_->ToString() + "!=" + beta_->ToString() + ">";
+  }
+  return "?";
+}
+
+// ---- evaluation -----------------------------------------------------------
+
+namespace {
+
+// Boolean matrix product C = A x B.
+BitMatrix Multiply(const BitMatrix& a, const BitMatrix& b) {
+  size_t n = a.n();
+  BitMatrix out(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      if (a.Get(i, k)) {
+        for (size_t j = 0; j < n; ++j) {
+          if (b.Get(k, j)) out.Set(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BitMatrix EvalGxPath(const GxPathPtr& alpha, const Graph& g) {
+  size_t n = g.NumNodes();
+  BitMatrix out(n);
+  switch (alpha->kind()) {
+    case GxPath::Kind::kEps:
+      for (size_t v = 0; v < n; ++v) out.Set(v, v);
+      return out;
+    case GxPath::Kind::kLabel: {
+      LabelId a = g.FindLabel(alpha->label());
+      if (a == kInvalidIntern) return out;
+      for (const Edge& e : g.edges()) {
+        if (e.label == a) {
+          if (alpha->inverse()) {
+            out.Set(e.to, e.from);
+          } else {
+            out.Set(e.from, e.to);
+          }
+        }
+      }
+      return out;
+    }
+    case GxPath::Kind::kTest: {
+      std::vector<bool> nodes = EvalGxNode(alpha->test(), g);
+      for (size_t v = 0; v < n; ++v) {
+        if (nodes[v]) out.Set(v, v);
+      }
+      return out;
+    }
+    case GxPath::Kind::kConcat:
+      return Multiply(EvalGxPath(alpha->a(), g), EvalGxPath(alpha->b(), g));
+    case GxPath::Kind::kUnion: {
+      BitMatrix a = EvalGxPath(alpha->a(), g);
+      BitMatrix b = EvalGxPath(alpha->b(), g);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (a.Get(i, j) || b.Get(i, j)) out.Set(i, j);
+        }
+      }
+      return out;
+    }
+    case GxPath::Kind::kComplement: {
+      BitMatrix a = EvalGxPath(alpha->a(), g);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (!a.Get(i, j)) out.Set(i, j);
+        }
+      }
+      return out;
+    }
+    case GxPath::Kind::kStar: {
+      BitMatrix a = EvalGxPath(alpha->a(), g);
+      a.TransitiveClosureInPlace();  // reflexive-transitive
+      return a;
+    }
+    case GxPath::Kind::kDataEq:
+    case GxPath::Kind::kDataNeq: {
+      BitMatrix a = EvalGxPath(alpha->a(), g);
+      bool want_eq = alpha->kind() == GxPath::Kind::kDataEq;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (a.Get(i, j) &&
+              ((g.Value(i) == g.Value(j)) == want_eq)) {
+            out.Set(i, j);
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> EvalGxNode(const GxNodePtr& phi, const Graph& g) {
+  size_t n = g.NumNodes();
+  std::vector<bool> out(n, false);
+  switch (phi->kind()) {
+    case GxNode::Kind::kTop:
+      out.assign(n, true);
+      return out;
+    case GxNode::Kind::kNot: {
+      std::vector<bool> a = EvalGxNode(phi->a(), g);
+      for (size_t v = 0; v < n; ++v) out[v] = !a[v];
+      return out;
+    }
+    case GxNode::Kind::kAnd: {
+      std::vector<bool> a = EvalGxNode(phi->a(), g);
+      std::vector<bool> b = EvalGxNode(phi->b(), g);
+      for (size_t v = 0; v < n; ++v) out[v] = a[v] && b[v];
+      return out;
+    }
+    case GxNode::Kind::kOr: {
+      std::vector<bool> a = EvalGxNode(phi->a(), g);
+      std::vector<bool> b = EvalGxNode(phi->b(), g);
+      for (size_t v = 0; v < n; ++v) out[v] = a[v] || b[v];
+      return out;
+    }
+    case GxNode::Kind::kDiamond: {
+      BitMatrix a = EvalGxPath(phi->alpha(), g);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (a.Get(i, j)) {
+            out[i] = true;
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    case GxNode::Kind::kCmpEq:
+    case GxNode::Kind::kCmpNeq: {
+      BitMatrix a = EvalGxPath(phi->alpha(), g);
+      BitMatrix b = EvalGxPath(phi->beta(), g);
+      bool want_eq = phi->kind() == GxNode::Kind::kCmpEq;
+      for (size_t v = 0; v < n; ++v) {
+        bool hit = false;
+        for (size_t x = 0; x < n && !hit; ++x) {
+          if (!a.Get(v, x)) continue;
+          for (size_t y = 0; y < n && !hit; ++y) {
+            if (!b.Get(v, y)) continue;
+            if ((g.Value(static_cast<NodeId>(x)) ==
+                 g.Value(static_cast<NodeId>(y))) == want_eq) {
+              hit = true;
+            }
+          }
+        }
+        out[v] = hit;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+BinRel GxPathPairs(const GxPathPtr& alpha, const Graph& g) {
+  BitMatrix m = EvalGxPath(alpha, g);
+  BinRel out;
+  for (size_t i = 0; i < m.n(); ++i) {
+    for (size_t j = 0; j < m.n(); ++j) {
+      if (m.Get(i, j)) {
+        out.emplace(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trial

@@ -1,0 +1,123 @@
+// GXPath — graph XPath with path complement — and its data extension
+// GXPath(∼) (Section 6.2, following [25]).
+//
+// Path expressions   α := ε | a | a⁻ | [φ] | α·β | α∪β | ᾱ | α* | α= | α≠
+// Node expressions   φ := ⊤ | ¬φ | φ∧ψ | φ∨ψ | ⟨α⟩ | ⟨α=β⟩ | ⟨α≠β⟩
+//
+// Path values are n×n boolean matrices (complement needs the full
+// universe); node values are bit vectors.
+
+#ifndef TRIAL_LANGS_GXPATH_H_
+#define TRIAL_LANGS_GXPATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "langs/binrel.h"
+#include "util/bit_matrix.h"
+
+namespace trial {
+
+class GxPath;
+class GxNode;
+using GxPathPtr = std::shared_ptr<const GxPath>;
+using GxNodePtr = std::shared_ptr<const GxNode>;
+
+/// A GXPath path expression.
+class GxPath {
+ public:
+  enum class Kind {
+    kEps, kLabel, kTest, kConcat, kUnion, kComplement, kStar,
+    kDataEq,   ///< α= : pairs of α with equal endpoint data values
+    kDataNeq,  ///< α≠
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  bool inverse() const { return inverse_; }
+  const GxPathPtr& a() const { return a_; }
+  const GxPathPtr& b() const { return b_; }
+  const GxNodePtr& test() const { return test_; }
+
+  static GxPathPtr Eps();
+  static GxPathPtr Label(std::string name, bool inverse = false);
+  static GxPathPtr Test(GxNodePtr phi);
+  static GxPathPtr Concat(GxPathPtr a, GxPathPtr b);
+  static GxPathPtr Alt(GxPathPtr a, GxPathPtr b);
+  static GxPathPtr Complement(GxPathPtr a);
+  static GxPathPtr Star(GxPathPtr a);
+  static GxPathPtr DataEq(GxPathPtr a);
+  static GxPathPtr DataNeq(GxPathPtr a);
+
+  /// True when no data test (α=, α≠, ⟨α=β⟩) occurs — i.e. the expression
+  /// is in the purely navigational fragment of Theorem 7.
+  bool IsNavigational() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class GxNode;
+  GxPath(Kind k, std::string label, bool inv, GxPathPtr a, GxPathPtr b,
+         GxNodePtr test)
+      : kind_(k), label_(std::move(label)), inverse_(inv), a_(std::move(a)),
+        b_(std::move(b)), test_(std::move(test)) {}
+  static GxPathPtr Make(Kind k, std::string label, bool inv, GxPathPtr a,
+                        GxPathPtr b, GxNodePtr test);
+
+  Kind kind_;
+  std::string label_;
+  bool inverse_;
+  GxPathPtr a_, b_;
+  GxNodePtr test_;
+};
+
+/// A GXPath node expression.
+class GxNode {
+ public:
+  enum class Kind { kTop, kNot, kAnd, kOr, kDiamond, kCmpEq, kCmpNeq };
+
+  Kind kind() const { return kind_; }
+  const GxNodePtr& a() const { return a_; }
+  const GxNodePtr& b() const { return b_; }
+  const GxPathPtr& alpha() const { return alpha_; }
+  const GxPathPtr& beta() const { return beta_; }
+
+  static GxNodePtr Top();
+  static GxNodePtr Not(GxNodePtr a);
+  static GxNodePtr And(GxNodePtr a, GxNodePtr b);
+  static GxNodePtr Or(GxNodePtr a, GxNodePtr b);
+  /// ⟨α⟩.
+  static GxNodePtr Diamond(GxPathPtr alpha);
+  /// ⟨α = β⟩ / ⟨α ≠ β⟩.
+  static GxNodePtr CmpEq(GxPathPtr alpha, GxPathPtr beta);
+  static GxNodePtr CmpNeq(GxPathPtr alpha, GxPathPtr beta);
+
+  bool IsNavigational() const;
+  std::string ToString() const;
+
+ private:
+  GxNode(Kind k, GxNodePtr a, GxNodePtr b, GxPathPtr alpha, GxPathPtr beta)
+      : kind_(k), a_(std::move(a)), b_(std::move(b)),
+        alpha_(std::move(alpha)), beta_(std::move(beta)) {}
+  static GxNodePtr Make(Kind k, GxNodePtr a, GxNodePtr b, GxPathPtr alpha,
+                        GxPathPtr beta);
+
+  Kind kind_;
+  GxNodePtr a_, b_;
+  GxPathPtr alpha_, beta_;
+};
+
+/// Evaluates a path expression over G; Get(u,v) == (u,v) ∈ ⟦α⟧.
+BitMatrix EvalGxPath(const GxPathPtr& alpha, const Graph& g);
+
+/// Evaluates a node expression over G.
+std::vector<bool> EvalGxNode(const GxNodePtr& phi, const Graph& g);
+
+/// Convenience: path result as a BinRel.
+BinRel GxPathPairs(const GxPathPtr& alpha, const Graph& g);
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_GXPATH_H_

@@ -1,0 +1,262 @@
+#include "langs/nre.h"
+
+#include <cctype>
+
+#include "core/eval.h"
+
+namespace trial {
+
+NrePtr Nre::Make(Kind k, std::string label, bool inv, NrePtr a, NrePtr b) {
+  struct Access : Nre {
+    Access(Kind k, std::string l, bool i, NrePtr a, NrePtr b)
+        : Nre(k, std::move(l), i, std::move(a), std::move(b)) {}
+  };
+  return std::make_shared<const Access>(k, std::move(label), inv,
+                                        std::move(a), std::move(b));
+}
+
+NrePtr Nre::Eps() { return Make(Kind::kEps, "", false, nullptr, nullptr); }
+NrePtr Nre::Label(std::string name, bool inverse) {
+  return Make(Kind::kLabel, std::move(name), inverse, nullptr, nullptr);
+}
+NrePtr Nre::Concat(NrePtr a, NrePtr b) {
+  return Make(Kind::kConcat, "", false, std::move(a), std::move(b));
+}
+NrePtr Nre::Alt(NrePtr a, NrePtr b) {
+  return Make(Kind::kUnion, "", false, std::move(a), std::move(b));
+}
+NrePtr Nre::Star(NrePtr a) {
+  return Make(Kind::kStar, "", false, std::move(a), nullptr);
+}
+NrePtr Nre::Test(NrePtr a) {
+  return Make(Kind::kTest, "", false, std::move(a), nullptr);
+}
+
+bool Nre::IsPlainRegex() const {
+  if (kind_ == Kind::kTest) return false;
+  if (a_ && !a_->IsPlainRegex()) return false;
+  if (b_ && !b_->IsPlainRegex()) return false;
+  return true;
+}
+
+std::string Nre::ToString() const {
+  switch (kind_) {
+    case Kind::kEps:
+      return "eps";
+    case Kind::kLabel:
+      return label_ + (inverse_ ? "-" : "");
+    case Kind::kConcat:
+      return "(" + a_->ToString() + "." + b_->ToString() + ")";
+    case Kind::kUnion:
+      return "(" + a_->ToString() + "+" + b_->ToString() + ")";
+    case Kind::kStar:
+      return a_->ToString() + "*";
+    case Kind::kTest:
+      return "[" + a_->ToString() + "]";
+  }
+  return "?";
+}
+
+// ---- parser -------------------------------------------------------------
+
+namespace {
+
+struct NreParser {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  char Peek() {
+    SkipWs();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NrePtr> ParseExpr() {
+    TRIAL_ASSIGN_OR_RETURN(NrePtr left, ParseSeq());
+    while (Consume('+')) {
+      TRIAL_ASSIGN_OR_RETURN(NrePtr right, ParseSeq());
+      left = Nre::Alt(left, right);
+    }
+    return left;
+  }
+
+  Result<NrePtr> ParseSeq() {
+    TRIAL_ASSIGN_OR_RETURN(NrePtr left, ParsePostfix());
+    while (Consume('.')) {
+      TRIAL_ASSIGN_OR_RETURN(NrePtr right, ParsePostfix());
+      left = Nre::Concat(left, right);
+    }
+    return left;
+  }
+
+  Result<NrePtr> ParsePostfix() {
+    TRIAL_ASSIGN_OR_RETURN(NrePtr e, ParseAtom());
+    while (Consume('*')) e = Nre::Star(e);
+    return e;
+  }
+
+  Result<NrePtr> ParseAtom() {
+    char c = Peek();
+    if (c == '(') {
+      ++pos;
+      TRIAL_ASSIGN_OR_RETURN(NrePtr e, ParseExpr());
+      if (!Consume(')')) {
+        return Status::InvalidArgument("expected ')' in NRE");
+      }
+      return e;
+    }
+    if (c == '[') {
+      ++pos;
+      TRIAL_ASSIGN_OR_RETURN(NrePtr e, ParseExpr());
+      if (!Consume(']')) {
+        return Status::InvalidArgument("expected ']' in NRE");
+      }
+      return Nre::Test(e);
+    }
+    // Label or "eps".
+    SkipWs();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::InvalidArgument("expected label in NRE at offset " +
+                                     std::to_string(pos));
+    }
+    std::string name(text.substr(start, pos - start));
+    if (name == "eps") return Nre::Eps();
+    bool inverse = false;
+    if (pos < text.size() && text[pos] == '-') {
+      inverse = true;
+      ++pos;
+    }
+    return Nre::Label(std::move(name), inverse);
+  }
+};
+
+}  // namespace
+
+Result<NrePtr> ParseNre(std::string_view text) {
+  NreParser p{text};
+  TRIAL_ASSIGN_OR_RETURN(NrePtr e, p.ParseExpr());
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    return Status::InvalidArgument("trailing input in NRE at offset " +
+                                   std::to_string(p.pos));
+  }
+  return e;
+}
+
+// ---- graph semantics ------------------------------------------------------
+
+BinRel EvalNre(const NrePtr& e, const Graph& g) {
+  uint32_t n = static_cast<uint32_t>(g.NumNodes());
+  switch (e->kind()) {
+    case Nre::Kind::kEps:
+      return Diagonal(n);
+    case Nre::Kind::kLabel: {
+      BinRel out;
+      LabelId a = g.FindLabel(e->label());
+      if (a == kInvalidIntern) return out;
+      for (const Edge& edge : g.edges()) {
+        if (edge.label == a) {
+          if (e->inverse()) {
+            out.emplace(edge.to, edge.from);
+          } else {
+            out.emplace(edge.from, edge.to);
+          }
+        }
+      }
+      return out;
+    }
+    case Nre::Kind::kConcat:
+      return Compose(EvalNre(e->a(), g), EvalNre(e->b(), g));
+    case Nre::Kind::kUnion: {
+      BinRel out = EvalNre(e->a(), g);
+      BinRel rb = EvalNre(e->b(), g);
+      out.insert(rb.begin(), rb.end());
+      return out;
+    }
+    case Nre::Kind::kStar:
+      return ReflexiveTransitiveClosure(EvalNre(e->a(), g), n);
+    case Nre::Kind::kTest:
+      return TestOf(EvalNre(e->a(), g));
+  }
+  return {};
+}
+
+// ---- triple (nSPARQL) semantics -------------------------------------------
+
+namespace {
+
+Result<BinRel> AxisRel(const std::string& name, const TripleSet& triples) {
+  BinRel out;
+  for (const Triple& t : triples) {
+    if (name == "next") {
+      out.emplace(t.s, t.o);
+    } else if (name == "edge") {
+      out.emplace(t.s, t.p);
+    } else if (name == "node") {
+      out.emplace(t.p, t.o);
+    } else {
+      return Status::InvalidArgument(
+          "triple-semantics NREs use axes next/edge/node, got: " + name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BinRel> EvalNreTriple(const NrePtr& e, const TripleStore& store,
+                             const std::string& rel) {
+  const TripleSet* triples = store.FindRelation(rel);
+  if (triples == nullptr) {
+    return Status::NotFound("unknown relation: " + rel);
+  }
+  uint32_t n = static_cast<uint32_t>(store.NumObjects());
+  switch (e->kind()) {
+    case Nre::Kind::kEps:
+      return Diagonal(n);
+    case Nre::Kind::kLabel: {
+      TRIAL_ASSIGN_OR_RETURN(BinRel axis, AxisRel(e->label(), *triples));
+      return e->inverse() ? Inverse(axis) : axis;
+    }
+    case Nre::Kind::kConcat: {
+      TRIAL_ASSIGN_OR_RETURN(BinRel a, EvalNreTriple(e->a(), store, rel));
+      TRIAL_ASSIGN_OR_RETURN(BinRel b, EvalNreTriple(e->b(), store, rel));
+      return Compose(a, b);
+    }
+    case Nre::Kind::kUnion: {
+      TRIAL_ASSIGN_OR_RETURN(BinRel a, EvalNreTriple(e->a(), store, rel));
+      TRIAL_ASSIGN_OR_RETURN(BinRel b, EvalNreTriple(e->b(), store, rel));
+      a.insert(b.begin(), b.end());
+      return a;
+    }
+    case Nre::Kind::kStar: {
+      TRIAL_ASSIGN_OR_RETURN(BinRel a, EvalNreTriple(e->a(), store, rel));
+      return ReflexiveTransitiveClosure(a, n);
+    }
+    case Nre::Kind::kTest: {
+      TRIAL_ASSIGN_OR_RETURN(BinRel a, EvalNreTriple(e->a(), store, rel));
+      return TestOf(a);
+    }
+  }
+  return Status::Internal("unknown NRE kind");
+}
+
+}  // namespace trial

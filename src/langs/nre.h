@@ -1,0 +1,84 @@
+// Nested regular expressions (Section 2.1) and plain regular path
+// queries as their test-free fragment:
+//
+//   e := ε | a | a⁻ | e·e | e* | e+e | [e]
+//
+// Two evaluation semantics are provided:
+//  * graph semantics (NREs over a graph database G), and
+//  * triple semantics — the nSPARQL axes of [31] / Theorem 1, where the
+//    alphabet is {next, edge, node} interpreted over a ternary relation:
+//      next = {(v,v') : ∃z E(v,z,v')},  edge = {(v,v') : ∃z E(v,v',z)},
+//      node = {(v,v') : ∃z E(z,v,v')}.
+//    This semantics factors through the σ(·) encoding, which is exactly
+//    why nSPARQL cannot express query Q (Theorem 1).
+
+#ifndef TRIAL_LANGS_NRE_H_
+#define TRIAL_LANGS_NRE_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "langs/binrel.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+class Nre;
+using NrePtr = std::shared_ptr<const Nre>;
+
+/// An NRE node.
+class Nre {
+ public:
+  enum class Kind { kEps, kLabel, kConcat, kUnion, kStar, kTest };
+
+  Kind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  bool inverse() const { return inverse_; }
+  const NrePtr& a() const { return a_; }
+  const NrePtr& b() const { return b_; }
+
+  static NrePtr Eps();
+  /// Label atom `a` or its inverse `a⁻`.
+  static NrePtr Label(std::string name, bool inverse = false);
+  static NrePtr Concat(NrePtr a, NrePtr b);
+  static NrePtr Alt(NrePtr a, NrePtr b);
+  static NrePtr Star(NrePtr a);
+  /// Node test [e].
+  static NrePtr Test(NrePtr a);
+
+  /// True when no kTest occurs — i.e. the expression is a plain regular
+  /// path query.
+  bool IsPlainRegex() const;
+
+  /// "(a.[b-]*)+eps" style rendering; parses back with ParseNre.
+  std::string ToString() const;
+
+ private:
+  Nre(Kind k, std::string label, bool inv, NrePtr a, NrePtr b)
+      : kind_(k), label_(std::move(label)), inverse_(inv),
+        a_(std::move(a)), b_(std::move(b)) {}
+  static NrePtr Make(Kind k, std::string label, bool inv, NrePtr a, NrePtr b);
+
+  Kind kind_;
+  std::string label_;
+  bool inverse_;
+  NrePtr a_, b_;
+};
+
+/// Parses "a.b*+[c-.d]" style NREs.  Operators: '.' concat, '+' union,
+/// postfix '*', '[e]' nesting, label suffix '-' inverse, "eps", "()".
+Result<NrePtr> ParseNre(std::string_view text);
+
+/// Graph semantics: the binary relation defined by `e` over G.
+BinRel EvalNre(const NrePtr& e, const Graph& g);
+
+/// Triple (nSPARQL) semantics over relation `rel` of a triplestore;
+/// labels must be among next/edge/node.  Errors on other labels.
+Result<BinRel> EvalNreTriple(const NrePtr& e, const TripleStore& store,
+                             const std::string& rel = "E");
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_NRE_H_

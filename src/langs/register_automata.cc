@@ -1,0 +1,265 @@
+#include "langs/register_automata.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace trial {
+
+RemPtr Rem::Make(Kind k, int reg, std::string label,
+                 std::vector<RegTest> tests, RemPtr a, RemPtr b) {
+  struct Access : Rem {
+    Access(Kind k, int r, std::string l, std::vector<RegTest> t, RemPtr a,
+           RemPtr b)
+        : Rem(k, r, std::move(l), std::move(t), std::move(a), std::move(b)) {}
+  };
+  return std::make_shared<const Access>(k, reg, std::move(label),
+                                        std::move(tests), std::move(a),
+                                        std::move(b));
+}
+
+RemPtr Rem::Eps() { return Make(Kind::kEps, -1, "", {}, nullptr, nullptr); }
+RemPtr Rem::Bind(int reg) {
+  return Make(Kind::kBind, reg, "", {}, nullptr, nullptr);
+}
+RemPtr Rem::Move(std::string label, std::vector<RegTest> tests) {
+  return Make(Kind::kMove, -1, std::move(label), std::move(tests), nullptr,
+              nullptr);
+}
+RemPtr Rem::Concat(RemPtr a, RemPtr b) {
+  return Make(Kind::kConcat, -1, "", {}, std::move(a), std::move(b));
+}
+RemPtr Rem::Alt(RemPtr a, RemPtr b) {
+  return Make(Kind::kUnion, -1, "", {}, std::move(a), std::move(b));
+}
+RemPtr Rem::Star(RemPtr a) {
+  return Make(Kind::kStar, -1, "", {}, std::move(a), nullptr);
+}
+
+int Rem::NumRegisters() const {
+  int m = kind_ == Kind::kBind ? reg_ + 1 : 0;
+  for (const RegTest& t : tests_) m = std::max(m, t.reg + 1);
+  if (a_) m = std::max(m, a_->NumRegisters());
+  if (b_) m = std::max(m, b_->NumRegisters());
+  return m;
+}
+
+std::string Rem::ToString() const {
+  switch (kind_) {
+    case Kind::kEps:
+      return "eps";
+    case Kind::kBind:
+      return "v" + std::to_string(reg_) + "!";
+    case Kind::kMove: {
+      std::string out = label_;
+      if (!tests_.empty()) {
+        out += "[";
+        for (size_t i = 0; i < tests_.size(); ++i) {
+          if (i) out += "&";
+          out += "v" + std::to_string(tests_[i].reg) +
+                 (tests_[i].equal ? "=" : "!=");
+        }
+        out += "]";
+      }
+      return out;
+    }
+    case Kind::kConcat:
+      return "(" + a_->ToString() + "." + b_->ToString() + ")";
+    case Kind::kUnion:
+      return "(" + a_->ToString() + "+" + b_->ToString() + ")";
+    case Kind::kStar:
+      return a_->ToString() + "*";
+  }
+  return "?";
+}
+
+namespace {
+
+// Thompson-style automaton with action transitions.
+struct Action {
+  enum class Kind { kEps, kBind, kMove };
+  Kind kind;
+  int reg = -1;               // kBind
+  LabelId label = 0;          // kMove
+  std::vector<RegTest> tests; // kMove
+  uint32_t to = 0;
+};
+
+struct Automaton {
+  uint32_t num_states = 0;
+  uint32_t start = 0;
+  uint32_t accept = 0;
+  std::vector<std::vector<Action>> adj;
+
+  uint32_t NewState() {
+    adj.emplace_back();
+    return num_states++;
+  }
+  void Eps(uint32_t a, uint32_t b) {
+    adj[a].push_back({Action::Kind::kEps, -1, 0, {}, b});
+  }
+};
+
+struct Frag {
+  uint32_t start, accept;
+};
+
+Frag BuildAutomaton(const RemPtr& e, const Graph& g, Automaton* a) {
+  switch (e->kind()) {
+    case Rem::Kind::kEps: {
+      Frag f{a->NewState(), a->NewState()};
+      a->Eps(f.start, f.accept);
+      return f;
+    }
+    case Rem::Kind::kBind: {
+      Frag f{a->NewState(), a->NewState()};
+      a->adj[f.start].push_back(
+          {Action::Kind::kBind, e->reg(), 0, {}, f.accept});
+      return f;
+    }
+    case Rem::Kind::kMove: {
+      Frag f{a->NewState(), a->NewState()};
+      LabelId lab = g.FindLabel(e->label());
+      if (lab != kInvalidIntern) {
+        a->adj[f.start].push_back(
+            {Action::Kind::kMove, -1, lab, e->tests(), f.accept});
+      }
+      return f;
+    }
+    case Rem::Kind::kConcat: {
+      Frag x = BuildAutomaton(e->a(), g, a);
+      Frag y = BuildAutomaton(e->b(), g, a);
+      a->Eps(x.accept, y.start);
+      return Frag{x.start, y.accept};
+    }
+    case Rem::Kind::kUnion: {
+      Frag x = BuildAutomaton(e->a(), g, a);
+      Frag y = BuildAutomaton(e->b(), g, a);
+      Frag f{a->NewState(), a->NewState()};
+      a->Eps(f.start, x.start);
+      a->Eps(f.start, y.start);
+      a->Eps(x.accept, f.accept);
+      a->Eps(y.accept, f.accept);
+      return f;
+    }
+    case Rem::Kind::kStar: {
+      Frag x = BuildAutomaton(e->a(), g, a);
+      Frag f{a->NewState(), a->NewState()};
+      a->Eps(f.start, f.accept);
+      a->Eps(f.start, x.start);
+      a->Eps(x.accept, x.start);
+      a->Eps(x.accept, f.accept);
+      return f;
+    }
+  }
+  return Frag{0, 0};
+}
+
+}  // namespace
+
+Result<BinRel> EvalRem(const RemPtr& e, const Graph& g) {
+  int num_regs = e->NumRegisters();
+  Automaton a;
+  Frag f = BuildAutomaton(e, g, &a);
+  a.start = f.start;
+  a.accept = f.accept;
+
+  // Register contents are indices into the graph's value table
+  // (-1 = unbound), so configurations are finite.
+  std::vector<const DataValue*> values;
+  std::map<size_t, std::vector<int>> by_hash;  // value hash -> indices
+  auto value_index = [&](const DataValue& v) -> int {
+    auto& bucket = by_hash[v.Hash()];
+    for (int idx : bucket) {
+      if (*values[idx] == v) return idx;
+    }
+    values.push_back(&v);
+    bucket.push_back(static_cast<int>(values.size()) - 1);
+    return static_cast<int>(values.size()) - 1;
+  };
+  for (NodeId v = 0; v < g.NumNodes(); ++v) value_index(g.Value(v));
+
+  struct Config {
+    uint32_t state;
+    NodeId node;
+    std::vector<int> regs;
+
+    bool operator<(const Config& o) const {
+      if (state != o.state) return state < o.state;
+      if (node != o.node) return node < o.node;
+      return regs < o.regs;
+    }
+  };
+
+  BinRel out;
+  for (NodeId src = 0; src < g.NumNodes(); ++src) {
+    std::set<Config> seen;
+    std::queue<Config> frontier;
+    Config init{a.start, src, std::vector<int>(num_regs, -1)};
+    seen.insert(init);
+    frontier.push(init);
+    while (!frontier.empty()) {
+      Config c = frontier.front();
+      frontier.pop();
+      if (c.state == a.accept) out.emplace(src, c.node);
+      for (const Action& act : a.adj[c.state]) {
+        switch (act.kind) {
+          case Action::Kind::kEps: {
+            Config next = c;
+            next.state = act.to;
+            if (seen.insert(next).second) frontier.push(next);
+            break;
+          }
+          case Action::Kind::kBind: {
+            Config next = c;
+            next.state = act.to;
+            next.regs[act.reg] = value_index(g.Value(c.node));
+            if (seen.insert(next).second) frontier.push(next);
+            break;
+          }
+          case Action::Kind::kMove: {
+            for (auto [lab, w] : g.Out(c.node)) {
+              if (lab != act.label) continue;
+              int wval = value_index(g.Value(w));
+              bool ok = true;
+              for (const RegTest& t : act.tests) {
+                if (c.regs[t.reg] < 0) {
+                  ok = false;  // test against an unbound register
+                  break;
+                }
+                if ((c.regs[t.reg] == wval) != t.equal) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) continue;
+              Config next = c;
+              next.state = act.to;
+              next.node = w;
+              if (seen.insert(next).second) frontier.push(next);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RemPtr DistinctValuesExpr(int n, const std::string& label) {
+  // e_2 = ↓x1 · a[x1≠] · ↓x2 ; e_{k+1} = e_k · a[x1≠ … xk≠] · ↓x_{k+1}.
+  RemPtr e = Rem::Concat(
+      Rem::Bind(0),
+      Rem::Concat(Rem::Move(label, {RegTest{0, false}}), Rem::Bind(1)));
+  for (int k = 2; k < n; ++k) {
+    std::vector<RegTest> tests;
+    for (int i = 0; i < k; ++i) tests.push_back(RegTest{i, false});
+    e = Rem::Concat(
+        e, Rem::Concat(Rem::Move(label, std::move(tests)), Rem::Bind(k)));
+  }
+  return e;
+}
+
+}  // namespace trial

@@ -1,0 +1,96 @@
+// Regular expressions with memory / register automata over data graphs
+// ([23, 26]; Proposition 6).
+//
+// An expression walks edge-labeled paths through a graph whose nodes
+// carry data values, binding node values into registers (↓x) and testing
+// the current node's value against registers (x= / x≠):
+//
+//   e := ε | ↓x | a[c] | e·e | e+e | e*
+//
+// where a is an edge label and c a conjunction of register tests
+// evaluated at the edge's target node.  The pairs query defined by e is
+// {(u,v) : some data path from u to v is accepted}.
+//
+// Proposition 6's witness family is provided:
+//   e_2     = ↓x1 · a[x1≠] · ↓x2
+//   e_{n+1} = e_n · a[x1≠ ∧ … ∧ xn≠] · ↓x_{n+1}
+// whose answer is nonempty iff the graph contains a path visiting n
+// pairwise-distinct data values — a property beyond L∞ω with 6 variables
+// and hence beyond TriAL*.
+
+#ifndef TRIAL_LANGS_REGISTER_AUTOMATA_H_
+#define TRIAL_LANGS_REGISTER_AUTOMATA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "langs/binrel.h"
+#include "util/status.h"
+
+namespace trial {
+
+class Rem;
+using RemPtr = std::shared_ptr<const Rem>;
+
+/// One register test: the current node's value compared with register
+/// `reg` (which must have been bound).
+struct RegTest {
+  int reg;
+  bool equal;  ///< true: x= ; false: x≠
+};
+
+/// A regular expression with memory.
+class Rem {
+ public:
+  enum class Kind { kEps, kBind, kMove, kConcat, kUnion, kStar };
+
+  Kind kind() const { return kind_; }
+  int reg() const { return reg_; }
+  const std::string& label() const { return label_; }
+  const std::vector<RegTest>& tests() const { return tests_; }
+  const RemPtr& a() const { return a_; }
+  const RemPtr& b() const { return b_; }
+
+  static RemPtr Eps();
+  /// ↓x — store the current node's data value into register `reg`.
+  static RemPtr Bind(int reg);
+  /// a[c] — traverse an a-labeled edge; the tests apply to the target.
+  static RemPtr Move(std::string label, std::vector<RegTest> tests = {});
+  static RemPtr Concat(RemPtr a, RemPtr b);
+  static RemPtr Alt(RemPtr a, RemPtr b);
+  static RemPtr Star(RemPtr a);
+
+  /// Number of registers used (1 + max register index; 0 if none).
+  int NumRegisters() const;
+
+  std::string ToString() const;
+
+ private:
+  Rem(Kind k, int reg, std::string label, std::vector<RegTest> tests,
+      RemPtr a, RemPtr b)
+      : kind_(k), reg_(reg), label_(std::move(label)),
+        tests_(std::move(tests)), a_(std::move(a)), b_(std::move(b)) {}
+  static RemPtr Make(Kind k, int reg, std::string label,
+                     std::vector<RegTest> tests, RemPtr a, RemPtr b);
+
+  Kind kind_;
+  int reg_;
+  std::string label_;
+  std::vector<RegTest> tests_;
+  RemPtr a_, b_;
+};
+
+/// Evaluates the expression over a data graph by BFS over configurations
+/// (automaton state, graph node, register contents).  Register contents
+/// range over the graph's (finite) value set, so the search terminates.
+Result<BinRel> EvalRem(const RemPtr& e, const Graph& g);
+
+/// The e_n family from the proof of Proposition 6 (n >= 2): accepts
+/// paths over `label` visiting n pairwise-distinct data values.
+RemPtr DistinctValuesExpr(int n, const std::string& label = "a");
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_REGISTER_AUTOMATA_H_

@@ -1,0 +1,139 @@
+#include "langs/rpq.h"
+
+#include <map>
+#include <queue>
+
+namespace trial {
+namespace {
+
+struct Frag {
+  uint32_t start;
+  uint32_t accept;
+};
+
+class Builder {
+ public:
+  Result<Frag> Build(const NrePtr& e) {
+    switch (e->kind()) {
+      case Nre::Kind::kEps: {
+        Frag f = NewFrag();
+        Eps(f.start, f.accept);
+        return f;
+      }
+      case Nre::Kind::kLabel: {
+        Frag f = NewFrag();
+        nfa_.transitions.push_back(
+            {f.start, f.accept, false, e->label(), e->inverse()});
+        return f;
+      }
+      case Nre::Kind::kConcat: {
+        TRIAL_ASSIGN_OR_RETURN(Frag a, Build(e->a()));
+        TRIAL_ASSIGN_OR_RETURN(Frag b, Build(e->b()));
+        Eps(a.accept, b.start);
+        return Frag{a.start, b.accept};
+      }
+      case Nre::Kind::kUnion: {
+        TRIAL_ASSIGN_OR_RETURN(Frag a, Build(e->a()));
+        TRIAL_ASSIGN_OR_RETURN(Frag b, Build(e->b()));
+        Frag f = NewFrag();
+        Eps(f.start, a.start);
+        Eps(f.start, b.start);
+        Eps(a.accept, f.accept);
+        Eps(b.accept, f.accept);
+        return f;
+      }
+      case Nre::Kind::kStar: {
+        TRIAL_ASSIGN_OR_RETURN(Frag a, Build(e->a()));
+        Frag f = NewFrag();
+        Eps(f.start, f.accept);
+        Eps(f.start, a.start);
+        Eps(a.accept, a.start);
+        Eps(a.accept, f.accept);
+        return f;
+      }
+      case Nre::Kind::kTest:
+        return Status::InvalidArgument(
+            "node tests [e] are NRE-only; RPQs take plain regexes");
+    }
+    return Status::Internal("unknown NRE kind");
+  }
+
+  Nfa Finish(Frag f) {
+    nfa_.start = f.start;
+    nfa_.accept = f.accept;
+    return std::move(nfa_);
+  }
+
+ private:
+  uint32_t NewState() { return nfa_.num_states++; }
+  Frag NewFrag() { return Frag{NewState(), NewState()}; }
+  void Eps(uint32_t a, uint32_t b) {
+    nfa_.transitions.push_back({a, b, true, "", false});
+  }
+
+  Nfa nfa_;
+};
+
+}  // namespace
+
+Result<Nfa> CompileRegexToNfa(const NrePtr& e) {
+  Builder b;
+  TRIAL_ASSIGN_OR_RETURN(Frag f, b.Build(e));
+  return b.Finish(f);
+}
+
+Result<BinRel> EvalRpqProduct(const NrePtr& e, const Graph& g) {
+  TRIAL_ASSIGN_OR_RETURN(Nfa nfa, CompileRegexToNfa(e));
+
+  // Per-state adjacency of the NFA, with labels resolved to ids.
+  struct Step {
+    bool eps;
+    LabelId label;
+    bool inverse;
+    uint32_t to;
+  };
+  std::vector<std::vector<Step>> nfa_adj(nfa.num_states);
+  for (const Nfa::Transition& t : nfa.transitions) {
+    LabelId lab = t.eps ? kInvalidIntern : g.FindLabel(t.label);
+    if (!t.eps && lab == kInvalidIntern) continue;  // label absent: dead
+    nfa_adj[t.from].push_back({t.eps, lab, t.inverse, t.to});
+  }
+
+  uint32_t n = static_cast<uint32_t>(g.NumNodes());
+  BinRel out;
+  std::vector<bool> seen(static_cast<size_t>(n) * nfa.num_states);
+  std::queue<std::pair<uint32_t, uint32_t>> frontier;  // (node, state)
+  for (uint32_t src = 0; src < n; ++src) {
+    std::fill(seen.begin(), seen.end(), false);
+    while (!frontier.empty()) frontier.pop();
+    auto push = [&](uint32_t v, uint32_t q) {
+      size_t key = static_cast<size_t>(v) * nfa.num_states + q;
+      if (!seen[key]) {
+        seen[key] = true;
+        frontier.emplace(v, q);
+      }
+    };
+    push(src, nfa.start);
+    while (!frontier.empty()) {
+      auto [v, q] = frontier.front();
+      frontier.pop();
+      if (q == nfa.accept) out.emplace(src, v);
+      for (const Step& s : nfa_adj[q]) {
+        if (s.eps) {
+          push(v, s.to);
+        } else if (!s.inverse) {
+          for (auto [lab, w] : g.Out(v)) {
+            if (lab == s.label) push(w, s.to);
+          }
+        } else {
+          for (auto [lab, w] : g.In(v)) {
+            if (lab == s.label) push(w, s.to);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trial

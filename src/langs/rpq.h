@@ -1,0 +1,47 @@
+// Regular path queries evaluated the production way: Thompson NFA +
+// product-automaton BFS (the classic RPQ algorithm of [13]).
+//
+// EvalNre on a plain regex gives the same relation by algebraic
+// composition; the property tests cross-check the two, and the language
+// benchmarks compare their costs.
+
+#ifndef TRIAL_LANGS_RPQ_H_
+#define TRIAL_LANGS_RPQ_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "langs/binrel.h"
+#include "langs/nre.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// A nondeterministic finite automaton over edge labels (with inverses),
+/// built by Thompson's construction.
+struct Nfa {
+  struct Transition {
+    uint32_t from;
+    uint32_t to;
+    bool eps = false;
+    std::string label;   // meaningful when !eps
+    bool inverse = false;
+  };
+  uint32_t num_states = 0;
+  uint32_t start = 0;
+  uint32_t accept = 0;
+  std::vector<Transition> transitions;
+};
+
+/// Compiles a plain regex (no node tests) into an NFA.
+/// Error: kInvalidArgument if the expression contains [e].
+Result<Nfa> CompileRegexToNfa(const NrePtr& e);
+
+/// Evaluates an RPQ by BFS over the product of the graph and the NFA:
+/// pairs (u, v) such that some path from u to v spells a word of L(e).
+Result<BinRel> EvalRpqProduct(const NrePtr& e, const Graph& g);
+
+}  // namespace trial
+
+#endif  // TRIAL_LANGS_RPQ_H_

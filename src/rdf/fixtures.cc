@@ -1,0 +1,87 @@
+#include "rdf/fixtures.h"
+
+namespace trial {
+
+RdfGraph TransportRdf() {
+  RdfGraph d;
+  d.Add("St_Andrews", "Bus_Op_1", "Edinburgh");
+  d.Add("Edinburgh", "Train_Op_1", "London");
+  d.Add("London", "Train_Op_2", "Brussels");
+  d.Add("Bus_Op_1", "part_of", "NatExpress");
+  d.Add("Train_Op_1", "part_of", "EastCoast");
+  d.Add("Train_Op_2", "part_of", "Eurostar");
+  d.Add("EastCoast", "part_of", "NatExpress");
+  return d;
+}
+
+TripleStore TransportStore() { return TransportRdf().ToTripleStore("E"); }
+
+RdfGraph PropositionOneD1() {
+  RdfGraph d;
+  d.Add("St_Andrews", "Bus_Op_1", "Edinburgh");
+  d.Add("Edinburgh", "Train_Op_1", "London");
+  d.Add("Edinburgh", "Train_Op_3", "London");
+  d.Add("Edinburgh", "Train_Op_1", "Manchester");
+  d.Add("Newcastle", "Train_Op_1", "London");
+  d.Add("London", "Train_Op_2", "Brussels");
+  d.Add("Bus_Op_1", "part_of", "NatExpress");
+  d.Add("Train_Op_1", "part_of", "EastCoast");
+  d.Add("Train_Op_2", "part_of", "Eurostar");
+  d.Add("EastCoast", "part_of", "NatExpress");
+  return d;
+}
+
+RdfGraph PropositionOneD2() {
+  RdfGraph d = PropositionOneD1();
+  RdfGraph out;
+  for (const RdfGraph::NameTriple& t : d.triples()) {
+    if (t == RdfGraph::NameTriple{"Edinburgh", "Train_Op_1", "London"}) {
+      continue;
+    }
+    out.Add(t[0], t[1], t[2]);
+  }
+  return out;
+}
+
+TripleStore ExampleThreeStore() {
+  TripleStore store;
+  store.Add("E", "a", "b", "c");
+  store.Add("E", "c", "d", "e");
+  store.Add("E", "d", "e", "f");
+  return store;
+}
+
+TripleStore MarioSocialNetwork() {
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  ObjId mario = store.InternObject("o175");
+  ObjId dk = store.InternObject("o122");
+  ObjId luigi = store.InternObject("o7521");
+  ObjId c163 = store.InternObject("c163");
+  ObjId c137 = store.InternObject("c137");
+  ObjId c177 = store.InternObject("c177");
+
+  auto user = [](const char* name, const char* mail, int64_t age) {
+    return DataValue::Tuple({DataValue::Str(name), DataValue::Str(mail),
+                             DataValue::Int(age), DataValue::Null(),
+                             DataValue::Null()});
+  };
+  auto conn = [](const char* type, const char* created) {
+    return DataValue::Tuple({DataValue::Null(), DataValue::Null(),
+                             DataValue::Null(), DataValue::Str(type),
+                             DataValue::Str(created)});
+  };
+  store.SetValue(mario, user("Mario", "m@nes.com", 23));
+  store.SetValue(dk, user("Donkey Kong", "d@nes.com", 117));
+  store.SetValue(luigi, user("Luigi", "l@nes.com", 27));
+  store.SetValue(c137, conn("brother", "11-11-83"));
+  store.SetValue(c177, conn("coworker", "12-07-89"));
+  store.SetValue(c163, conn("rival", "12-07-89"));
+
+  store.Add(rel, mario, c163, dk);
+  store.Add(rel, mario, c137, luigi);
+  store.Add(rel, luigi, c177, dk);
+  return store;
+}
+
+}  // namespace trial

@@ -1,0 +1,41 @@
+// The paper's worked databases, reproduced verbatim:
+//
+//  * Figure 1   — the transport RDF document D (cities, services,
+//                 operator hierarchy);
+//  * Prop. 1    — the documents D1 and D2 from the appendix whose σ
+//                 encodings coincide while Q(D1) ≠ Q(D2);
+//  * Example 3  — the three-triple store separating left and right
+//                 Kleene closures;
+//  * Section 2.3 — the Mario/Luigi/Donkey Kong social network with
+//                 quintuple attribute values.
+
+#ifndef TRIAL_RDF_FIXTURES_H_
+#define TRIAL_RDF_FIXTURES_H_
+
+#include "rdf/rdf_graph.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// Figure 1's RDF document D as a ground RDF graph.
+RdfGraph TransportRdf();
+
+/// Figure 1's document loaded into a triplestore (relation "E").
+TripleStore TransportStore();
+
+/// Appendix, proof of Proposition 1: document D1 (extends Figure 1's D).
+RdfGraph PropositionOneD1();
+/// Document D2 = D1 minus (Edinburgh, Train_Op_1, London).
+RdfGraph PropositionOneD2();
+
+/// Example 3's store: E = {(a,b,c), (c,d,e), (d,e,f)}.
+TripleStore ExampleThreeStore();
+
+/// Section 2.3's social network: users o175 (Mario), o7521 (Luigi),
+/// o122 (Donkey Kong) and connections c137/c163/c177 with quintuple
+/// data values (name, email, age, type, created).
+TripleStore MarioSocialNetwork();
+
+}  // namespace trial
+
+#endif  // TRIAL_RDF_FIXTURES_H_

@@ -1,0 +1,142 @@
+#include "rdf/ntriples.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace trial {
+namespace {
+
+Status ErrAt(size_t line, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + msg);
+}
+
+// Parses one term starting at text[i]; advances i past the term.
+Status ParseTerm(std::string_view text, size_t line, size_t* i,
+                 std::string* out) {
+  out->clear();
+  size_t n = text.size();
+  if (*i >= n) return ErrAt(line, "expected term, found end of line");
+  if (text[*i] == '"') {
+    return ErrAt(line, "literals are not part of ground RDF documents");
+  }
+  if (text.substr(*i, 2) == "_:") {
+    return ErrAt(line, "blank nodes are not part of ground RDF documents");
+  }
+  if (text[*i] == '<') {
+    ++*i;
+    while (*i < n && text[*i] != '>') {
+      char c = text[*i];
+      if (c == '\\') {
+        ++*i;
+        if (*i >= n) return ErrAt(line, "dangling escape in IRI");
+        switch (text[*i]) {
+          case 't': out->push_back('\t'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case '\\': out->push_back('\\'); break;
+          case '>': out->push_back('>'); break;
+          default:
+            return ErrAt(line, std::string("unknown escape \\") + text[*i]);
+        }
+      } else {
+        out->push_back(c);
+      }
+      ++*i;
+    }
+    if (*i >= n) return ErrAt(line, "unterminated IRI");
+    ++*i;  // consume '>'
+    if (out->empty()) return ErrAt(line, "empty IRI");
+    return Status::OK();
+  }
+  // Bare token.
+  while (*i < n) {
+    char c = text[*i];
+    if (c == ' ' || c == '\t' || c == '.' || c == '<' || c == '"') break;
+    out->push_back(c);
+    ++*i;
+  }
+  if (out->empty()) return ErrAt(line, "expected term");
+  return Status::OK();
+}
+
+void SkipWs(std::string_view text, size_t* i) {
+  while (*i < text.size() && (text[*i] == ' ' || text[*i] == '\t')) ++*i;
+}
+
+}  // namespace
+
+Result<RdfGraph> ParseNTriples(std::string_view text) {
+  RdfGraph g;
+  size_t pos = 0, line_no = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    size_t i = 0;
+    SkipWs(line, &i);
+    if (i >= line.size() || line[i] == '#' || line[i] == '\r') continue;
+
+    std::string s, p, o;
+    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &s));
+    SkipWs(line, &i);
+    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &p));
+    SkipWs(line, &i);
+    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &o));
+    SkipWs(line, &i);
+    if (i >= line.size() || line[i] != '.') {
+      return ErrAt(line_no, "expected terminating '.'");
+    }
+    ++i;
+    SkipWs(line, &i);
+    if (i < line.size() && line[i] != '\r' && line[i] != '#') {
+      return ErrAt(line_no, "trailing content after '.'");
+    }
+    g.Add(s, p, o);
+  }
+  return g;
+}
+
+Result<RdfGraph> ParseNTriplesFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return ParseNTriples(content);
+}
+
+std::string SerializeNTriples(const RdfGraph& g) {
+  std::string out;
+  auto emit = [&out](const std::string& term) {
+    out.push_back('<');
+    for (char c : term) {
+      switch (c) {
+        case '\t': out += "\\t"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\\': out += "\\\\"; break;
+        case '>': out += "\\>"; break;
+        default: out.push_back(c);
+      }
+    }
+    out.push_back('>');
+  };
+  for (const RdfGraph::NameTriple& t : g.triples()) {
+    emit(t[0]);
+    out.push_back(' ');
+    emit(t[1]);
+    out.push_back(' ');
+    emit(t[2]);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace trial

@@ -1,0 +1,41 @@
+// A small N-Triples-subset parser and serializer.
+//
+// The paper works with ground RDF documents (no blank nodes, no
+// literals), so the accepted grammar is:
+//
+//   line    := triple | comment | blank
+//   triple  := term WS term WS term WS? '.'
+//   term    := '<' uri-chars '>'        (angle-bracketed IRI)
+//            | bare-token               (convenience; no whitespace,
+//                                        no '<', '"', '.')
+//   comment := '#' ...
+//
+// Escapes \t \n \r \\ \> are honored inside <...>.  Anything else —
+// literals, blank nodes, malformed terms — is reported with a line
+// number, never silently dropped.
+
+#ifndef TRIAL_RDF_NTRIPLES_H_
+#define TRIAL_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/rdf_graph.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Parses an N-Triples document from a string.
+Result<RdfGraph> ParseNTriples(std::string_view text);
+
+/// Parses an N-Triples file from disk.
+Result<RdfGraph> ParseNTriplesFile(const std::string& path);
+
+/// Serializes a document; every resource is written as <resource>, with
+/// the inverse of the parser's escaping.  Round-trips through
+/// ParseNTriples.
+std::string SerializeNTriples(const RdfGraph& g);
+
+}  // namespace trial
+
+#endif  // TRIAL_RDF_NTRIPLES_H_

@@ -1,0 +1,25 @@
+#include "rdf/rdf_graph.h"
+
+namespace trial {
+
+void RdfGraph::Add(std::string_view s, std::string_view p,
+                   std::string_view o) {
+  triples_.insert(NameTriple{std::string(s), std::string(p), std::string(o)});
+}
+
+bool RdfGraph::Contains(std::string_view s, std::string_view p,
+                        std::string_view o) const {
+  return triples_.count(
+             NameTriple{std::string(s), std::string(p), std::string(o)}) > 0;
+}
+
+TripleStore RdfGraph::ToTripleStore(const std::string& rel) const {
+  TripleStore store;
+  store.AddRelation(rel);
+  for (const NameTriple& t : triples_) {
+    store.Add(rel, t[0], t[1], t[2]);
+  }
+  return store;
+}
+
+}  // namespace trial

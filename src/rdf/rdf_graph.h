@@ -1,0 +1,43 @@
+// Ground RDF documents (Section 2.1): finite sets of triples
+// (s, p, o) ∈ U × U × U.  No blank nodes or literals, as in the paper.
+
+#ifndef TRIAL_RDF_RDF_GRAPH_H_
+#define TRIAL_RDF_RDF_GRAPH_H_
+
+#include <array>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "storage/triple_store.h"
+
+namespace trial {
+
+/// A ground RDF document: a set of (subject, predicate, object) URI
+/// triples kept by name.
+class RdfGraph {
+ public:
+  using NameTriple = std::array<std::string, 3>;
+
+  /// Adds a triple; duplicates are ignored.
+  void Add(std::string_view s, std::string_view p, std::string_view o);
+
+  bool Contains(std::string_view s, std::string_view p,
+                std::string_view o) const;
+
+  size_t size() const { return triples_.size(); }
+  const std::set<NameTriple>& triples() const { return triples_; }
+
+  /// Loads the document into a triplestore relation (default "E"),
+  /// interning every resource as an object.
+  TripleStore ToTripleStore(const std::string& rel = "E") const;
+
+  bool operator==(const RdfGraph& o) const { return triples_ == o.triples_; }
+
+ private:
+  std::set<NameTriple> triples_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_RDF_RDF_GRAPH_H_

@@ -1,0 +1,21 @@
+#include "rdf/sigma.h"
+
+namespace trial {
+
+Graph SigmaEncode(const RdfGraph& d) {
+  Graph g;
+  LabelId next = g.AddLabel(kSigmaNext);
+  LabelId edge = g.AddLabel(kSigmaEdge);
+  LabelId node = g.AddLabel(kSigmaNode);
+  for (const RdfGraph::NameTriple& t : d.triples()) {
+    NodeId s = g.AddNode(t[0]);
+    NodeId p = g.AddNode(t[1]);
+    NodeId o = g.AddNode(t[2]);
+    g.AddEdge(s, edge, p);
+    g.AddEdge(p, node, o);
+    g.AddEdge(s, next, o);
+  }
+  return g;
+}
+
+}  // namespace trial

@@ -1,0 +1,32 @@
+// The σ(D) graph encoding of RDF (Arenas & Pérez [5]; Figure 2).
+//
+// Given an RDF document D, σ(D) is the graph database over
+// Σ = {next, node, edge} with one vertex per resource and, for each
+// triple (s, p, o) ∈ D, the edges
+//
+//     (s, edge, p),  (p, node, o),  (s, next, o).
+//
+// Proposition 1's point is that σ is lossy: distinct documents D1 ≠ D2
+// can have σ(D1) = σ(D2), so no query over σ(·) — in particular no NRE —
+// can distinguish them.
+
+#ifndef TRIAL_RDF_SIGMA_H_
+#define TRIAL_RDF_SIGMA_H_
+
+#include "graph/graph.h"
+#include "rdf/rdf_graph.h"
+
+namespace trial {
+
+/// Builds σ(D).
+Graph SigmaEncode(const RdfGraph& d);
+
+/// Labels of the σ encoding, in the order they are interned by
+/// SigmaEncode: next=0, edge=1, node=2.
+inline constexpr const char* kSigmaNext = "next";
+inline constexpr const char* kSigmaEdge = "edge";
+inline constexpr const char* kSigmaNode = "node";
+
+}  // namespace trial
+
+#endif  // TRIAL_RDF_SIGMA_H_

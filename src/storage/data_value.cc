@@ -1,0 +1,88 @@
+#include "storage/data_value.h"
+
+#include <functional>
+
+namespace trial {
+namespace {
+
+size_t HashCombine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+int TypeRank(const DataValue& v) {
+  if (v.is_null()) return 0;
+  if (v.is_int()) return 1;
+  if (v.is_string()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+bool DataValue::operator==(const DataValue& o) const {
+  if (repr_.index() != o.repr_.index()) return false;
+  if (is_null()) return true;
+  if (is_int()) return AsInt() == o.AsInt();
+  if (is_string()) return AsString() == o.AsString();
+  const DataTuple& a = AsTuple();
+  const DataTuple& b = o.AsTuple();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+bool DataValue::operator<(const DataValue& o) const {
+  int ra = TypeRank(*this), rb = TypeRank(o);
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+      return false;
+    case 1:
+      return AsInt() < o.AsInt();
+    case 2:
+      return AsString() < o.AsString();
+    default: {
+      const DataTuple& a = AsTuple();
+      const DataTuple& b = o.AsTuple();
+      size_t n = a.size() < b.size() ? a.size() : b.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return a.size() < b.size();
+    }
+  }
+}
+
+size_t DataValue::Hash() const {
+  if (is_null()) return 0x5f0e1d2c;
+  if (is_int()) return HashCombine(1, std::hash<int64_t>()(AsInt()));
+  if (is_string()) return HashCombine(2, std::hash<std::string>()(AsString()));
+  size_t h = 3;
+  for (const DataValue& v : AsTuple()) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string DataValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_string()) return "\"" + AsString() + "\"";
+  std::string out = "(";
+  const DataTuple& t = AsTuple();
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const DataValue& TupleComponent(const DataValue& v, size_t i) {
+  static const DataValue kNull;
+  if (!v.is_tuple()) return kNull;
+  const DataTuple& t = v.AsTuple();
+  return i < t.size() ? t[i] : kNull;
+}
+
+}  // namespace trial

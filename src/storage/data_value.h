@@ -1,0 +1,88 @@
+// DataValue: the range of the attribute function rho.
+//
+// The paper's triplestore model (Definition 1) attaches a data value from
+// an infinite domain D to every object; Section 2.3 additionally uses
+// *tuples* of values with nulls for the social-network model ("one just
+// uses D^k as the range of rho").  DataValue supports both: null, 64-bit
+// integers, strings, and tuples of values.
+
+#ifndef TRIAL_STORAGE_DATA_VALUE_H_
+#define TRIAL_STORAGE_DATA_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace trial {
+
+class DataValue;
+
+/// Tuple payload; shared so DataValue copies stay cheap.
+using DataTuple = std::vector<DataValue>;
+
+/// A value of the attribute function rho: null, integer, string, or a
+/// tuple of values (tuples may contain nulls, as in the social-network
+/// example of Section 2.3).
+class DataValue {
+ public:
+  /// Null value (the paper's "⊥"); also the default for objects whose
+  /// attribute was never set.
+  DataValue() : repr_(std::monostate{}) {}
+  DataValue(int64_t v) : repr_(v) {}          // NOLINT
+  DataValue(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  DataValue(const char* v) : repr_(std::string(v)) {}  // NOLINT
+  explicit DataValue(DataTuple t)
+      : repr_(std::make_shared<const DataTuple>(std::move(t))) {}
+
+  static DataValue Null() { return DataValue(); }
+  static DataValue Int(int64_t v) { return DataValue(v); }
+  static DataValue Str(std::string s) { return DataValue(std::move(s)); }
+  static DataValue Tuple(DataTuple t) { return DataValue(std::move(t)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_tuple() const {
+    return std::holds_alternative<std::shared_ptr<const DataTuple>>(repr_);
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  const DataTuple& AsTuple() const {
+    return *std::get<std::shared_ptr<const DataTuple>>(repr_);
+  }
+
+  /// Structural equality.  Null equals null; tuples compare element-wise.
+  /// This is the relation "~" of the paper's relational encoding I_T.
+  bool operator==(const DataValue& o) const;
+  bool operator!=(const DataValue& o) const { return !(*this == o); }
+
+  /// Total order (by type tag, then value); used to keep containers sorted.
+  bool operator<(const DataValue& o) const;
+
+  /// Structural hash, consistent with operator==.
+  size_t Hash() const;
+
+  /// Debug/display rendering: "null", "42", "\"abc\"", "(a, b, null)".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, std::string,
+               std::shared_ptr<const DataTuple>>
+      repr_;
+};
+
+/// For i-th component comparisons ("~_i relations" of Section 4): returns
+/// the i-th tuple component, or null when the value is not a tuple or the
+/// index is out of range.
+const DataValue& TupleComponent(const DataValue& v, size_t i);
+
+struct DataValueHash {
+  size_t operator()(const DataValue& v) const { return v.Hash(); }
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_DATA_VALUE_H_

@@ -1,0 +1,52 @@
+#include "storage/triple_set.h"
+
+#include <algorithm>
+
+namespace trial {
+
+TripleSet::TripleSet(std::vector<Triple> triples)
+    : staged_(std::move(triples)) {}
+
+void TripleSet::Normalize() const {
+  if (staged_.empty()) return;
+  triples_.insert(triples_.end(), staged_.begin(), staged_.end());
+  staged_.clear();
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+}
+
+bool TripleSet::Contains(const Triple& t) const {
+  Normalize();
+  return std::binary_search(triples_.begin(), triples_.end(), t);
+}
+
+TripleSet TripleSet::Union(const TripleSet& a, const TripleSet& b) {
+  std::vector<Triple> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  TripleSet r;
+  r.triples_ = std::move(out);
+  return r;
+}
+
+TripleSet TripleSet::Difference(const TripleSet& a, const TripleSet& b) {
+  std::vector<Triple> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  TripleSet r;
+  r.triples_ = std::move(out);
+  return r;
+}
+
+TripleSet TripleSet::Intersection(const TripleSet& a, const TripleSet& b) {
+  std::vector<Triple> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  TripleSet r;
+  r.triples_ = std::move(out);
+  return r;
+}
+
+}  // namespace trial

@@ -1,0 +1,67 @@
+// TripleSet: a set of triples, the value produced and consumed by every
+// TriAL operator (the algebra is closed, Section 3).
+//
+// Representation: a sorted, duplicate-free vector in (s, p, o) order.
+// Insertion batches into a staging area and re-normalizes lazily, so bulk
+// loads and fixpoint iterations stay cheap.
+
+#ifndef TRIAL_STORAGE_TRIPLE_SET_H_
+#define TRIAL_STORAGE_TRIPLE_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/triple.h"
+
+namespace trial {
+
+/// An immutable-after-Normalize sorted set of triples.
+class TripleSet {
+ public:
+  TripleSet() = default;
+  /// Takes any vector; sorts and dedups it.
+  explicit TripleSet(std::vector<Triple> triples);
+
+  /// Adds a triple (staged; set is normalized on first read access).
+  void Insert(const Triple& t) {
+    staged_.push_back(t);
+  }
+  void Insert(ObjId s, ObjId p, ObjId o) { Insert(Triple{s, p, o}); }
+
+  /// Membership test.
+  bool Contains(const Triple& t) const;
+
+  /// Number of triples.
+  size_t size() const {
+    Normalize();
+    return triples_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Sorted (s,p,o) view.  Stable until the next Insert.
+  const std::vector<Triple>& triples() const {
+    Normalize();
+    return triples_;
+  }
+
+  std::vector<Triple>::const_iterator begin() const { return triples().begin(); }
+  std::vector<Triple>::const_iterator end() const { return triples().end(); }
+
+  /// Set union / difference / intersection (merge on sorted vectors).
+  static TripleSet Union(const TripleSet& a, const TripleSet& b);
+  static TripleSet Difference(const TripleSet& a, const TripleSet& b);
+  static TripleSet Intersection(const TripleSet& a, const TripleSet& b);
+
+  bool operator==(const TripleSet& o) const { return triples() == o.triples(); }
+  bool operator!=(const TripleSet& o) const { return !(*this == o); }
+
+ private:
+  void Normalize() const;
+
+  mutable std::vector<Triple> triples_;  // sorted, unique
+  mutable std::vector<Triple> staged_;   // pending inserts
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_TRIPLE_SET_H_

@@ -1,0 +1,75 @@
+#include "storage/triple_store.h"
+
+namespace trial {
+
+ObjId TripleStore::InternObject(std::string_view name) {
+  ObjId id = objects_.Intern(name);
+  if (id >= rho_.size()) rho_.resize(id + 1);
+  return id;
+}
+
+void TripleStore::SetValue(ObjId id, DataValue v) {
+  if (id >= rho_.size()) rho_.resize(id + 1);
+  rho_[id] = std::move(v);
+}
+
+const DataValue& TripleStore::Value(ObjId id) const {
+  static const DataValue kNull;
+  return id < rho_.size() ? rho_[id] : kNull;
+}
+
+RelId TripleStore::AddRelation(std::string_view name) {
+  auto it = rel_index_.find(std::string(name));
+  if (it != rel_index_.end()) return it->second;
+  RelId id = static_cast<RelId>(relations_.size());
+  rel_names_.emplace_back(name);
+  rel_index_.emplace(rel_names_.back(), id);
+  relations_.emplace_back();
+  return id;
+}
+
+const TripleSet* TripleStore::FindRelation(std::string_view name) const {
+  auto it = rel_index_.find(std::string(name));
+  return it == rel_index_.end() ? nullptr : &relations_[it->second];
+}
+
+TripleSet* TripleStore::MutableRelation(std::string_view name) {
+  auto it = rel_index_.find(std::string(name));
+  return it == rel_index_.end() ? nullptr : &relations_[it->second];
+}
+
+Triple TripleStore::Add(std::string_view rel, std::string_view s,
+                        std::string_view p, std::string_view o) {
+  RelId r = AddRelation(rel);
+  Triple t{InternObject(s), InternObject(p), InternObject(o)};
+  relations_[r].Insert(t);
+  return t;
+}
+
+size_t TripleStore::TotalTriples() const {
+  size_t n = 0;
+  for (const TripleSet& r : relations_) n += r.size();
+  return n;
+}
+
+std::string TripleStore::TripleToString(const Triple& t) const {
+  std::string out = "(";
+  out += ObjectName(t.s);
+  out += ", ";
+  out += ObjectName(t.p);
+  out += ", ";
+  out += ObjectName(t.o);
+  out += ")";
+  return out;
+}
+
+std::string TripleStore::ToString(const TripleSet& set) const {
+  std::string out;
+  for (const Triple& t : set) {
+    out += TripleToString(t);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace trial

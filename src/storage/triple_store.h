@@ -1,0 +1,104 @@
+// TripleStore: the paper's triplestore database (Definition 1).
+//
+//   T = (O, E_1, ..., E_n, rho)
+//
+// O is a finite set of objects (interned strings), each E_i is a named
+// ternary relation over O, and rho assigns a data value to every object.
+
+#ifndef TRIAL_STORAGE_TRIPLE_STORE_H_
+#define TRIAL_STORAGE_TRIPLE_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/data_value.h"
+#include "storage/triple.h"
+#include "storage/triple_set.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// Index of a named relation inside a store.
+using RelId = uint32_t;
+
+/// A triplestore database over interned objects.
+class TripleStore {
+ public:
+  // ---- objects -------------------------------------------------------
+
+  /// Interns `name` and returns its object id; rho defaults to null.
+  ObjId InternObject(std::string_view name);
+
+  /// Id of an existing object or kInvalidIntern.
+  ObjId FindObject(std::string_view name) const {
+    return objects_.TryGet(name);
+  }
+
+  /// Display name of an object.  Pre: id < NumObjects().
+  std::string_view ObjectName(ObjId id) const { return objects_.Get(id); }
+
+  /// Number of objects in O (the "|O|" of the complexity bounds).
+  size_t NumObjects() const { return objects_.size(); }
+
+  // ---- rho (data values) ---------------------------------------------
+
+  /// Sets rho(id).  Pre: id < NumObjects().
+  void SetValue(ObjId id, DataValue v);
+
+  /// rho(id); null if never set.  Pre: id < NumObjects().
+  const DataValue& Value(ObjId id) const;
+
+  /// Whether rho(a) = rho(b) (the "~" relation of the encoding I_T).
+  bool SameValue(ObjId a, ObjId b) const { return Value(a) == Value(b); }
+
+  // ---- relations ------------------------------------------------------
+
+  /// Creates (or finds) a named relation; returns its id.
+  RelId AddRelation(std::string_view name);
+
+  /// Relation lookup by name; nullptr when absent.
+  const TripleSet* FindRelation(std::string_view name) const;
+  TripleSet* MutableRelation(std::string_view name);
+
+  /// Relation access by id.  Pre: id < NumRelations().
+  const TripleSet& Relation(RelId id) const { return relations_[id]; }
+  TripleSet& MutableRelation(RelId id) { return relations_[id]; }
+  std::string_view RelationName(RelId id) const { return rel_names_[id]; }
+  size_t NumRelations() const { return relations_.size(); }
+
+  /// Convenience: interns s/p/o and inserts the triple into `rel`
+  /// (creating the relation if needed).
+  Triple Add(std::string_view rel, std::string_view s, std::string_view p,
+             std::string_view o);
+
+  /// Inserts an id-level triple.  Pre: ids valid; relation exists.
+  void Add(RelId rel, ObjId s, ObjId p, ObjId o) {
+    relations_[rel].Insert(s, p, o);
+  }
+
+  /// Total triple count over all relations (the "|T|" of the bounds).
+  size_t TotalTriples() const;
+
+  // ---- display --------------------------------------------------------
+
+  /// "(s, p, o)" with object names.
+  std::string TripleToString(const Triple& t) const;
+
+  /// Multi-line rendering of a TripleSet, one "(s, p, o)" per line, in
+  /// sorted order; used by examples and golden tests.
+  std::string ToString(const TripleSet& set) const;
+
+ private:
+  StringInterner objects_;
+  std::vector<DataValue> rho_;
+  std::vector<std::string> rel_names_;
+  std::unordered_map<std::string, RelId> rel_index_;
+  std::vector<TripleSet> relations_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_TRIPLE_STORE_H_

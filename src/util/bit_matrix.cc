@@ -1,0 +1,63 @@
+#include "util/bit_matrix.h"
+
+namespace trial {
+namespace {
+
+size_t Popcount64(uint64_t w) { return static_cast<size_t>(__builtin_popcountll(w)); }
+
+}  // namespace
+
+bool BitMatrix::OrRowInto(size_t dst, size_t src) {
+  bool changed = false;
+  uint64_t* d = &bits_[dst * words_per_row_];
+  const uint64_t* s = &bits_[src * words_per_row_];
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    uint64_t nv = d[w] | s[w];
+    changed |= (nv != d[w]);
+    d[w] = nv;
+  }
+  return changed;
+}
+
+void BitMatrix::TransitiveClosureInPlace() {
+  for (size_t i = 0; i < n_; ++i) Set(i, i);
+  // Warshall with word-parallel row unions: for each pivot k, every row i
+  // with bit (i,k) absorbs row k.
+  for (size_t k = 0; k < n_; ++k) {
+    for (size_t i = 0; i < n_; ++i) {
+      if (i != k && Get(i, k)) OrRowInto(i, k);
+    }
+  }
+}
+
+size_t BitMatrix::Count() const {
+  size_t c = 0;
+  for (uint64_t w : bits_) c += Popcount64(w);
+  return c;
+}
+
+bool BitTensor3::OrInPlace(const BitTensor3& other) {
+  bool changed = false;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t nv = words_[w] | other.words_[w];
+    changed |= (nv != words_[w]);
+    words_[w] = nv;
+  }
+  return changed;
+}
+
+void BitTensor3::AndInPlace(const BitTensor3& other) {
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+void BitTensor3::SubtractInPlace(const BitTensor3& other) {
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+size_t BitTensor3::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += Popcount64(w);
+  return c;
+}
+
+}  // namespace trial

@@ -1,0 +1,99 @@
+// Dense bit containers used by the paper-faithful matrix evaluator.
+//
+// Theorem 3 of the paper assumes the "array representation" of a
+// triplestore: each relation is an n x n x n 0/1 tensor.  BitTensor3
+// implements that tensor; BitMatrix is its 2-D companion used for the
+// reachability matrices of Procedures 3 and 4 (Proposition 5).
+
+#ifndef TRIAL_UTIL_BIT_MATRIX_H_
+#define TRIAL_UTIL_BIT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trial {
+
+/// Square n x n bit matrix with word-parallel row operations.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(size_t n)
+      : n_(n), words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
+
+  size_t n() const { return n_; }
+
+  bool Get(size_t i, size_t j) const {
+    return (bits_[i * words_per_row_ + (j >> 6)] >> (j & 63)) & 1u;
+  }
+  void Set(size_t i, size_t j) {
+    bits_[i * words_per_row_ + (j >> 6)] |= uint64_t{1} << (j & 63);
+  }
+  void Clear(size_t i, size_t j) {
+    bits_[i * words_per_row_ + (j >> 6)] &= ~(uint64_t{1} << (j & 63));
+  }
+
+  /// row(i) |= row(j); returns true if row(i) changed.
+  bool OrRowInto(size_t dst, size_t src);
+
+  /// Reflexive-transitive closure in place (word-parallel Warshall,
+  /// O(n^3 / 64)).  Diagonal is set.
+  void TransitiveClosureInPlace();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool operator==(const BitMatrix& o) const {
+    return n_ == o.n_ && bits_ == o.bits_;
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+/// Dense n x n x n bit tensor: the paper's array representation of a
+/// ternary relation.  Memory is n^3 / 8 bytes (n = 256 -> 2 MiB,
+/// n = 512 -> 16 MiB).
+class BitTensor3 {
+ public:
+  BitTensor3() = default;
+  explicit BitTensor3(size_t n)
+      : n_(n), words_((n * n * n + 63) / 64, 0) {}
+
+  size_t n() const { return n_; }
+
+  bool Get(size_t i, size_t j, size_t k) const {
+    size_t bit = (i * n_ + j) * n_ + k;
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+  void Set(size_t i, size_t j, size_t k) {
+    size_t bit = (i * n_ + j) * n_ + k;
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+
+  /// this |= other.  Returns true if any bit changed.  Pre: same n.
+  bool OrInPlace(const BitTensor3& other);
+
+  /// this &= other.  Pre: same n.
+  void AndInPlace(const BitTensor3& other);
+
+  /// this -= other (bit-wise and-not).  Pre: same n.
+  void SubtractInPlace(const BitTensor3& other);
+
+  /// Number of set bits (triples in the relation).
+  size_t Count() const;
+
+  bool operator==(const BitTensor3& o) const {
+    return n_ == o.n_ && words_ == o.words_;
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_BIT_MATRIX_H_

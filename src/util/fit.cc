@@ -1,0 +1,42 @@
+#include "util/fit.h"
+
+#include <cmath>
+
+namespace trial {
+
+PowerFit FitPowerLaw(const std::vector<double>& x,
+                     const std::vector<double>& t) {
+  std::vector<double> lx, lt;
+  for (size_t i = 0; i < x.size() && i < t.size(); ++i) {
+    if (x[i] > 0 && t[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      lt.push_back(std::log(t[i]));
+    }
+  }
+  PowerFit fit;
+  size_t n = lx.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += lx[i];
+    sy += lt[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * lt[i];
+    syy += lt[i] * lt[i];
+  }
+  double dn = static_cast<double>(n);
+  double denom = dn * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  double ss_tot = syy - sy * sy / dn;
+  double intercept = (sy - fit.exponent * sx) / dn;
+  double ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = intercept + fit.exponent * lx[i];
+    ss_res += (lt[i] - pred) * (lt[i] - pred);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace trial

@@ -1,0 +1,29 @@
+// Least-squares growth-rate fitting for the scaling benchmarks.
+//
+// The complexity theorems (Theorem 3, Propositions 4/5) claim polynomial
+// bounds; the benches sweep the input size and fit the exponent of
+// time ~ c * size^k on a log-log scale to compare measured growth with
+// the paper's bound.
+
+#ifndef TRIAL_UTIL_FIT_H_
+#define TRIAL_UTIL_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace trial {
+
+/// Result of a log-log linear regression time = c * x^exponent.
+struct PowerFit {
+  double exponent = 0.0;  ///< fitted slope in log-log space
+  double r2 = 0.0;        ///< coefficient of determination
+};
+
+/// Fits time ~ c * x^k by least squares on (log x, log t).
+/// Points with x <= 0 or t <= 0 are skipped.  Needs >= 2 usable points.
+PowerFit FitPowerLaw(const std::vector<double>& x,
+                     const std::vector<double>& t);
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_FIT_H_

@@ -1,0 +1,19 @@
+#include "util/interner.h"
+
+namespace trial {
+
+InternId StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  InternId id = static_cast<InternId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+InternId StringInterner::TryGet(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kInvalidIntern : it->second;
+}
+
+}  // namespace trial

@@ -1,0 +1,47 @@
+// StringInterner: bidirectional string <-> dense id mapping.
+//
+// Object names (URIs, labels) are interned once and referred to by 32-bit
+// ids everywhere else; triples are therefore 12 bytes and comparisons are
+// integer comparisons.
+
+#ifndef TRIAL_UTIL_INTERNER_H_
+#define TRIAL_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trial {
+
+/// Dense id assigned to an interned string.  Ids start at 0 and are
+/// contiguous, so they can index vectors directly.
+using InternId = uint32_t;
+
+/// Sentinel returned by TryGet for unknown strings.
+inline constexpr InternId kInvalidIntern = UINT32_MAX;
+
+/// Bidirectional string <-> id dictionary.  Not thread-safe.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it if new.
+  InternId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidIntern if never interned.
+  InternId TryGet(std::string_view s) const;
+
+  /// Returns the string for an id.  Pre: id < size().
+  std::string_view Get(InternId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+ private:
+  std::unordered_map<std::string, InternId> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_INTERNER_H_

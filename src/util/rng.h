@@ -1,0 +1,46 @@
+// Deterministic random-number helpers for tests, generators and benches.
+//
+// All randomized components of the repository (property tests, workload
+// generators) take an explicit seed so every run is reproducible.
+
+#ifndef TRIAL_UTIL_RNG_H_
+#define TRIAL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace trial {
+
+/// splitmix64: tiny, high-quality 64-bit PRNG (Steele et al.).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound).  Pre: bound > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.  Pre: lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  /// Uniform double in [0, 1).
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_RNG_H_

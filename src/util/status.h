@@ -1,0 +1,126 @@
+// Status / Result<T>: the library's error model.
+//
+// TriAL library code does not throw exceptions (parsers, validators and
+// evaluators all report failure through Status / Result<T>), following the
+// convention of C++ database engines such as RocksDB and Arrow.
+
+#ifndef TRIAL_UTIL_STATUS_H_
+#define TRIAL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace trial {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad expression, bad syntax, ...)
+  kNotFound,          ///< unknown relation / object / file
+  kResourceExhausted, ///< evaluation limit (triples, iterations) exceeded
+  kUnimplemented,     ///< feature intentionally out of scope
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail but returns no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.  Modeled after
+/// absl::StatusOr; kept dependency-free.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Evaluates an expression producing a Status and returns it from the
+/// enclosing function if not OK.
+#define TRIAL_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::trial::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors.
+#define TRIAL_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto TRIAL_CONCAT_(res_, __LINE__) = (rexpr);     \
+  if (!TRIAL_CONCAT_(res_, __LINE__).ok())          \
+    return TRIAL_CONCAT_(res_, __LINE__).status();  \
+  lhs = std::move(TRIAL_CONCAT_(res_, __LINE__)).value()
+
+#define TRIAL_CONCAT_INNER_(a, b) a##b
+#define TRIAL_CONCAT_(a, b) TRIAL_CONCAT_INNER_(a, b)
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_STATUS_H_

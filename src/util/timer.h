@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the benchmark harnesses.
+
+#ifndef TRIAL_UTIL_TIMER_H_
+#define TRIAL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace trial {
+
+/// Steady-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_UTIL_TIMER_H_

@@ -1,0 +1,152 @@
+// Golden tests for the paper's worked examples (E02, E03, E04 of the
+// experiment index): Example 2's join results on Figure 1, Example 3's
+// left/right star asymmetry, Example 4's reachability patterns and the
+// introduction's query Q.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "rdf/fixtures.h"
+
+namespace trial {
+namespace {
+
+using NameTriple = std::array<std::string, 3>;
+
+std::set<NameTriple> Names(const TripleStore& store, const TripleSet& set) {
+  std::set<NameTriple> out;
+  for (const Triple& t : set) {
+    out.insert(NameTriple{std::string(store.ObjectName(t.s)),
+                          std::string(store.ObjectName(t.p)),
+                          std::string(store.ObjectName(t.o))});
+  }
+  return out;
+}
+
+std::set<std::pair<std::string, std::string>> NamePairs(
+    const TripleStore& store, const TripleSet& set) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (auto [s, o] : ProjectSO(set)) {
+    out.emplace(std::string(store.ObjectName(s)),
+                std::string(store.ObjectName(o)));
+  }
+  return out;
+}
+
+class PaperExamplesTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Evaluator> MakeEngine() {
+    std::string which = GetParam();
+    if (which == "naive") return MakeNaiveEvaluator();
+    if (which == "matrix") return MakeMatrixEvaluator();
+    return MakeSmartEvaluator();
+  }
+};
+
+// Example 2:  e = E ⋈^{1,3',3}_{2=1'} E  computes, on Figure 1's store,
+// exactly the three city/company rows printed in the paper.
+TEST_P(PaperExamplesTest, ExampleTwoJoin) {
+  TripleStore store = TransportStore();
+  ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"),
+                         Spec(Pos::P1, Pos::P3p, Pos::P3,
+                              {Eq(Pos::P2, Pos::P1p)}));
+  auto engine = MakeEngine();
+  auto result = engine->Eval(e, store);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::set<NameTriple> expected = {
+      {"St_Andrews", "NatExpress", "Edinburgh"},
+      {"Edinburgh", "EastCoast", "London"},
+      {"London", "Eurostar", "Brussels"},
+  };
+  EXPECT_EQ(Names(store, *result), expected);
+}
+
+// Example 2 continued:  e' = e ∪ (e ⋈^{1,3',3}_{2=1'} E)  additionally
+// produces (Edinburgh, NatExpress, London) via EastCoast ⊑ NatExpress.
+TEST_P(PaperExamplesTest, ExampleTwoExtended) {
+  TripleStore store = TransportStore();
+  JoinSpec spec = Spec(Pos::P1, Pos::P3p, Pos::P3, {Eq(Pos::P2, Pos::P1p)});
+  ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"), spec);
+  ExprPtr ep = Expr::Union(e, Expr::Join(e, Expr::Rel("E"), spec));
+  auto engine = MakeEngine();
+  auto result = engine->Eval(ep, store);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::set<NameTriple> got = Names(store, *result);
+  EXPECT_TRUE(got.count({"Edinburgh", "NatExpress", "London"}))
+      << "missing the triple derived through part_of transitivity";
+  EXPECT_TRUE(got.count({"St_Andrews", "NatExpress", "Edinburgh"}));
+  EXPECT_TRUE(got.count({"London", "Eurostar", "Brussels"}));
+}
+
+// Example 3: on E = {(a,b,c),(c,d,e),(d,e,f)} the right closure
+// (E ⋈^{1,2,2'}_{3=1'})* yields E ∪ {(a,b,d),(a,b,e)} while the left
+// closure (⋈^{1,2,2'}_{3=1'} E)* yields only E ∪ {(a,b,d)}.
+TEST_P(PaperExamplesTest, ExampleThreeStarAsymmetry) {
+  TripleStore store = ExampleThreeStore();
+  JoinSpec spec = Spec(Pos::P1, Pos::P2, Pos::P2p, {Eq(Pos::P3, Pos::P1p)});
+  auto engine = MakeEngine();
+
+  auto right = engine->Eval(Expr::StarRight(Expr::Rel("E"), spec), store);
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  std::set<NameTriple> expect_right = {
+      {"a", "b", "c"}, {"c", "d", "e"}, {"d", "e", "f"},
+      {"a", "b", "d"}, {"a", "b", "e"},
+  };
+  EXPECT_EQ(Names(store, *right), expect_right);
+
+  auto left = engine->Eval(Expr::StarLeft(Expr::Rel("E"), spec), store);
+  ASSERT_TRUE(left.ok()) << left.status().ToString();
+  std::set<NameTriple> expect_left = {
+      {"a", "b", "c"}, {"c", "d", "e"}, {"d", "e", "f"}, {"a", "b", "d"},
+  };
+  EXPECT_EQ(Names(store, *left), expect_left);
+}
+
+// Example 4 / introduction: Reach→ = (E ⋈^{1,2,3'}_{3=1'})* finds pairs
+// connected by chains of triples through the object position.
+TEST_P(PaperExamplesTest, ReachForwardOnTransport) {
+  TripleStore store = TransportStore();
+  ExprPtr reach = ReachAnyPath(Expr::Rel("E"));
+  auto engine = MakeEngine();
+  auto result = engine->Eval(reach, store);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto pairs = NamePairs(store, *result);
+  EXPECT_TRUE(pairs.count({"St_Andrews", "London"}));
+  EXPECT_TRUE(pairs.count({"St_Andrews", "Brussels"}));
+  EXPECT_TRUE(pairs.count({"Edinburgh", "Brussels"}));
+}
+
+// The introduction's query Q: "pairs of cities (x, y) such that one can
+// travel from x to y using services operated by the same company",
+// expressed as ((E ⋈^{1,3',3}_{2=1'})* ⋈^{1,2,3'}_{3=1',2=2'})*.
+// On Figure 1: (St_Andrews, London) ∈ Q but (St_Andrews, Brussels) ∉ Q.
+TEST_P(PaperExamplesTest, QueryQOnTransport) {
+  TripleStore store = TransportStore();
+  ExprPtr inner = Expr::StarRight(
+      Expr::Rel("E"),
+      Spec(Pos::P1, Pos::P3p, Pos::P3, {Eq(Pos::P2, Pos::P1p)}));
+  ExprPtr q = Expr::StarRight(
+      inner, Spec(Pos::P1, Pos::P2, Pos::P3p,
+                  {Eq(Pos::P3, Pos::P1p), Eq(Pos::P2, Pos::P2p)}));
+  auto engine = MakeEngine();
+  auto result = engine->Eval(q, store);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto pairs = NamePairs(store, *result);
+  EXPECT_TRUE(pairs.count({"Edinburgh", "London"}));
+  EXPECT_TRUE(pairs.count({"St_Andrews", "Edinburgh"}));
+  EXPECT_TRUE(pairs.count({"St_Andrews", "London"}))
+      << "requires part_of transitivity into NatExpress";
+  EXPECT_FALSE(pairs.count({"St_Andrews", "Brussels"}))
+      << "the Eurostar leg breaks the same-company requirement";
+  EXPECT_FALSE(pairs.count({"Edinburgh", "Brussels"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, PaperExamplesTest,
+                         ::testing::Values("naive", "smart", "matrix"));
+
+}  // namespace
+}  // namespace trial

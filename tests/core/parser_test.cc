@@ -1,0 +1,168 @@
+// Tests for the TriAL text syntax: ToString/Parse round trips, manual
+// inputs, error reporting, and the derived operators.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/derived.h"
+#include "core/eval.h"
+#include "core/parser.h"
+#include "graph/generators.h"
+#include "rdf/fixtures.h"
+#include "util/rng.h"
+
+namespace trial {
+namespace {
+
+TEST(TriALParser, ParsesPaperQueries) {
+  // Example 2's join.
+  auto e = ParseTriAL("(E JOIN[1,3',3; 2=1'] E)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind(), ExprKind::kJoin);
+  EXPECT_EQ((*e)->join_spec().out[1], Pos::P3p);
+
+  // Query Q.
+  auto q = ParseTriAL(
+      "((E JOIN[1,3',3; 2=1'])* JOIN[1,2,3'; 3=1', 2=2'])*");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE((*q)->IsRecursive());
+
+  // Left star, selection, set ops, universe, empty.
+  for (const char* text :
+       {"(JOIN[1,2,2'; 3=1'] E)*", "sigma[1=2, rho(1)!=rho(3)](E)",
+        "((E u {}) - U)", "(U JOIN[1,2,3; 1!=2, 1!=3, 2!=3] U)"}) {
+    auto r = ParseTriAL(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << text;
+  }
+}
+
+TEST(TriALParser, ResolvesNamedConstants) {
+  TripleStore store = TransportStore();
+  auto e = ParseTriAL("sigma[2=\"part_of\"](E)", &store);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto engine = MakeSmartEvaluator();
+  auto r = engine->Eval(*e, store);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);  // the four part_of triples of Figure 1
+
+  EXPECT_FALSE(ParseTriAL("sigma[2=\"nope\"](E)", &store).ok());
+  EXPECT_FALSE(ParseTriAL("sigma[2=\"part_of\"](E)", nullptr).ok());
+}
+
+TEST(TriALParser, UniverseVsRelationNames) {
+  auto u = ParseTriAL("U");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->kind(), ExprKind::kUniverse);
+  auto rel = ParseTriAL("Users");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->kind(), ExprKind::kRel);
+  EXPECT_EQ((*rel)->rel_name(), "Users");
+}
+
+TEST(TriALParser, ReportsErrors) {
+  EXPECT_FALSE(ParseTriAL("(E JOIN[1,3',3; 2=1' E)").ok());
+  EXPECT_FALSE(ParseTriAL("(E JOIN[9,1,2] E)").ok());
+  EXPECT_FALSE(ParseTriAL("(E u E) trailing").ok());
+  EXPECT_FALSE(ParseTriAL("sigma[1=1'](E)").ok());  // non-unary selection
+  EXPECT_FALSE(ParseTriAL("").ok());
+}
+
+ExprPtr RandomExpr(Rng* rng, int depth) {
+  auto rand_pos = [&] { return static_cast<Pos>(rng->Below(6)); };
+  auto rand_spec = [&] {
+    JoinSpec spec;
+    spec.out = {rand_pos(), rand_pos(), rand_pos()};
+    for (size_t i = 0, n = rng->Below(3); i < n; ++i) {
+      spec.cond.theta.push_back(ObjConstraint{
+          ObjTerm::P(rand_pos()), ObjTerm::P(rand_pos()), rng->Chance(2, 3)});
+    }
+    if (rng->Chance(1, 3)) {
+      spec.cond.eta.push_back(DataConstraint{
+          DataTerm::P(rand_pos()), DataTerm::P(rand_pos()),
+          rng->Chance(1, 2)});
+    }
+    return spec;
+  };
+  if (depth <= 0) return rng->Chance(1, 5) ? Expr::Universe() : Expr::Rel("E");
+  switch (rng->Below(7)) {
+    case 0:
+      return Expr::Rel("E");
+    case 1: {
+      CondSet c;
+      c.theta.push_back(Eq(static_cast<Pos>(rng->Below(3)),
+                           static_cast<Pos>(rng->Below(3))));
+      return Expr::Select(RandomExpr(rng, depth - 1), c);
+    }
+    case 2:
+      return Expr::Union(RandomExpr(rng, depth - 1),
+                         RandomExpr(rng, depth - 1));
+    case 3:
+      return Expr::Diff(RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1));
+    case 4:
+      return Expr::Join(RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1), rand_spec());
+    case 5:
+      return Expr::StarRight(RandomExpr(rng, depth - 1), rand_spec());
+    default:
+      return Expr::StarLeft(RandomExpr(rng, depth - 1), rand_spec());
+  }
+}
+
+TEST(TriALParser, RoundTripsRandomExpressions) {
+  Rng rng(20260610);
+  for (int i = 0; i < 50; ++i) {
+    ExprPtr e = RandomExpr(&rng, 3);
+    std::string text = e->ToString();
+    auto back = ParseTriAL(text);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+    EXPECT_EQ((*back)->ToString(), text);
+  }
+}
+
+TEST(Derived, SemiJoinKeepsMatchingLeftTriples) {
+  TripleStore store = TransportStore();
+  // City hops whose service has a part_of parent: semijoin E with E on
+  // 2=1' (the middle occurs as a subject).
+  CondSet on;
+  on.theta.push_back(Eq(Pos::P2, Pos::P1p));
+  auto engine = MakeSmartEvaluator();
+  auto semi = engine->Eval(SemiJoin(Expr::Rel("E"), Expr::Rel("E"), on),
+                           store);
+  ASSERT_TRUE(semi.ok());
+  // Three city hops + EastCoast's part_of does not re-occur... check
+  // against a manual count: triples whose middle is a subject of E.
+  size_t expect = 0;
+  const TripleSet& e = *store.FindRelation("E");
+  for (const Triple& t : e) {
+    for (const Triple& u : e) {
+      if (t.p == u.s) {
+        ++expect;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(semi->size(), expect);
+
+  auto anti = engine->Eval(AntiJoin(Expr::Rel("E"), Expr::Rel("E"), on),
+                           store);
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->size(), e.size() - expect);
+}
+
+TEST(Derived, UniverseViaJoinsMatchesPrimitive) {
+  RandomStoreOptions opts;
+  opts.num_objects = 6;
+  opts.num_triples = 10;
+  opts.num_relations = 2;
+  opts.seed = 77;
+  TripleStore store = RandomTripleStore(opts);
+  auto engine = MakeSmartEvaluator();
+  auto via_joins = engine->Eval(UniverseViaJoins(store), store);
+  auto primitive = engine->Eval(Expr::Universe(), store);
+  ASSERT_TRUE(via_joins.ok() && primitive.ok());
+  EXPECT_EQ(*via_joins, *primitive);
+}
+
+}  // namespace
+}  // namespace trial

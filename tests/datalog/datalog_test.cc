@@ -1,0 +1,187 @@
+// Parser, analysis and direct-evaluation tests for TripleDatalog¬ /
+// ReachTripleDatalog¬ (Section 4).
+
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "graph/generators.h"
+#include "rdf/fixtures.h"
+
+namespace trial {
+namespace datalog {
+namespace {
+
+Program MustParse(std::string_view text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Program{};
+}
+
+TEST(DatalogParser, ParsesRuleShapes) {
+  Program p = MustParse(R"(
+    % reachability over the object position
+    ans(X, Y, Z) :- E(X, Y, Z).
+    ans(X, Y, Zp) :- ans(X, Y, Z), E(Z, P, Zp).
+  )");
+  ASSERT_EQ(p.rules.size(), 2u);
+  EXPECT_EQ(p.rules[0].head.pred, "ans");
+  EXPECT_EQ(p.rules[1].body.size(), 2u);
+}
+
+TEST(DatalogParser, ParsesConstraintsAndNegation) {
+  Program p = MustParse(
+      "q(X, Y, Z) :- E(X, Y, Z), not E(Z, Y, X), ~(X, Z), Y != Z, "
+      "X = edinburgh.\n");
+  ASSERT_EQ(p.rules.size(), 1u);
+  const Rule& r = p.rules[0];
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_FALSE(r.body[1].positive);
+  EXPECT_EQ(r.body[2].kind, Literal::Kind::kSim);
+  EXPECT_EQ(r.body[3].kind, Literal::Kind::kEq);
+  EXPECT_FALSE(r.body[3].positive);
+  EXPECT_TRUE(r.body[4].lhs.is_var);   // X is a variable
+  EXPECT_FALSE(r.body[4].rhs.is_var);  // lowercase "edinburgh" is a constant
+}
+
+TEST(DatalogParser, RoundTripsThroughToString) {
+  Program p = MustParse(
+      "ans(X, Y, Z) :- E(X, Y, Z), not E(Z, Y, X), ~(X, Z), X != Y.\n");
+  Program p2 = MustParse(p.ToString());
+  EXPECT_EQ(p.ToString(), p2.ToString());
+}
+
+TEST(DatalogParser, RejectsGarbage) {
+  EXPECT_FALSE(ParseProgram("ans(X, Y Z) :- E(X, Y, Z).").ok());
+  EXPECT_FALSE(ParseProgram("ans(X,Y,Z) :- E(X,Y,Z)").ok());  // missing '.'
+  EXPECT_FALSE(ParseProgram("ans(X,Y,Z) := E(X,Y,Z).").ok());
+}
+
+TEST(DatalogAnalysis, ClassifiesNonRecursive) {
+  Program p = MustParse(R"(
+    a(X, Y, Z) :- E(X, Y, Z), E(Z, Y, X).
+    b(X, Y, Z) :- a(X, Y, Z), not E(X, X, X).
+  )");
+  auto info = AnalyzeProgram(p);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->cls, ProgramClass::kNonRecursiveTripleDatalog);
+  EXPECT_TRUE(info->recursive_preds.empty());
+}
+
+TEST(DatalogAnalysis, ClassifiesReachShape) {
+  Program p = MustParse(R"(
+    s(X, Y, Z) :- E(X, Y, Z).
+    s(X, Y, W) :- s(X, Y, Z), E(Z, P, W), ~(Y, P).
+  )");
+  auto info = AnalyzeProgram(p);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->cls, ProgramClass::kReachTripleDatalog);
+  EXPECT_EQ(info->recursive_preds.count("s"), 1u);
+}
+
+TEST(DatalogAnalysis, FlagsNonReachRecursion) {
+  // Three rules for the recursive predicate: outside the two-rule shape.
+  Program p = MustParse(R"(
+    s(X, Y, Z) :- E(X, Y, Z).
+    s(X, Y, W) :- s(X, Y, Z), E(Z, P, W).
+    s(X, Y, W) :- s(X, Y, Z), E(W, P, Z).
+  )");
+  auto info = AnalyzeProgram(p);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->cls, ProgramClass::kGeneralRecursive);
+}
+
+TEST(DatalogAnalysis, RejectsMutualRecursion) {
+  Program p = MustParse(R"(
+    a(X, Y, Z) :- b(X, Y, Z).
+    b(X, Y, Z) :- a(X, Y, Z), E(X, Y, Z).
+    b(X, Y, Z) :- E(X, Y, Z).
+  )");
+  EXPECT_FALSE(AnalyzeProgram(p).ok());
+}
+
+TEST(DatalogAnalysis, RejectsUnsafeRules) {
+  EXPECT_FALSE(AnalyzeProgram(MustParse("a(X, Y, W) :- E(X, Y, Z).")).ok());
+  EXPECT_FALSE(
+      AnalyzeProgram(MustParse("a(X, Y, Z) :- E(X, Y, Z), W != X.")).ok());
+  EXPECT_FALSE(AnalyzeProgram(MustParse("a(X, Y) :- E(X, Y, Z).")).ok());
+}
+
+TEST(DatalogEval, CopiesRelation) {
+  TripleStore store = TransportStore();
+  Program p = MustParse("ans(X, Y, Z) :- E(X, Y, Z).");
+  auto r = EvalProgram(p, store);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, *store.FindRelation("E"));
+}
+
+TEST(DatalogEval, JoinWithConstantAndConstraints) {
+  TripleStore store = TransportStore();
+  // Cities reachable in two hops ignoring the operator hierarchy.
+  Program p = MustParse(R"(
+    hop2(X, P, Z) :- E(X, P, Y), E(Y, Q, Z), P != part_of, Q != part_of.
+  )");
+  auto r = EvalProgram(p, store, "hop2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // St_Andrews -> Edinburgh -> London and Edinburgh -> London -> Brussels.
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(DatalogEval, ReachabilityFixpoint) {
+  TripleStore store = TransportStore();
+  // part_of transitive closure: svc/company reachable through part_of.
+  Program p = MustParse(R"(
+    reach(X, Y, Z) :- E(X, Y, Z).
+    reach(X, Y, W) :- reach(X, Y, Z), E(Z, P, W), P = part_of.
+  )");
+  auto r = EvalProgram(p, store, "reach");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ObjId t1 = store.FindObject("Train_Op_1");
+  ObjId ne = store.FindObject("NatExpress");
+  ObjId po = store.FindObject("part_of");
+  // Train_Op_1 -part_of-> EastCoast -part_of-> NatExpress.
+  EXPECT_TRUE(r->Contains(Triple{t1, po, ne}));
+}
+
+TEST(DatalogEval, NegationUsesActiveDomain) {
+  TripleStore store;
+  store.Add("E", "a", "b", "c");
+  Program p = MustParse("n(X, Y, Z) :- E(X, Y, Z), not E(Z, Y, X).");
+  auto r = EvalProgram(p, store, "n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);  // (a,b,c) qualifies since (c,b,a) absent
+
+  store.Add("E", "c", "b", "a");
+  auto r2 = EvalProgram(p, store, "n");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 0u);
+}
+
+TEST(DatalogEval, SimLiteralComparesDataValues) {
+  TripleStore store;
+  Triple t = store.Add("E", "a", "b", "c");
+  store.SetValue(t.s, DataValue::Int(7));
+  store.SetValue(t.o, DataValue::Int(7));
+  Triple u = store.Add("E", "x", "y", "z");
+  store.SetValue(u.s, DataValue::Int(1));
+  store.SetValue(u.o, DataValue::Int(2));
+
+  Program p = MustParse("same(X, Y, Z) :- E(X, Y, Z), ~(X, Z).");
+  auto r = EvalProgram(p, store, "same");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(t));
+}
+
+TEST(DatalogEval, UnknownPredicateReported) {
+  TripleStore store = TransportStore();
+  Program p = MustParse("ans(X, Y, Z) :- nosuch(X, Y, Z).");
+  auto r = EvalProgram(p, store);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace trial

@@ -1,0 +1,111 @@
+// Unit tests for the FO(+TrCl) evaluator over triplestore instances.
+
+#include <gtest/gtest.h>
+
+#include "fo/fo_eval.h"
+#include "rdf/fixtures.h"
+
+namespace trial {
+namespace {
+
+using F = FoFormula;
+
+TEST(FoEval, AtomBindsVariables) {
+  TripleStore store = ExampleThreeStore();  // {(a,b,c),(c,d,e),(d,e,f)}
+  FoPtr f = F::Atom("E", FoTerm::V(0), FoTerm::V(1), FoTerm::V(2));
+  auto r = EvalFo(f, store);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->vars, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FoEval, AtomWithRepeatedVarAndConstant) {
+  TripleStore store;
+  store.Add("E", "x", "x", "y");
+  store.Add("E", "x", "y", "y");
+  // E(v0, v0, v2): only the first triple matches.
+  auto r = EvalFo(F::Atom("E", FoTerm::V(0), FoTerm::V(0), FoTerm::V(2)),
+                  store);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  // E(c_x, v1, v2) with a constant subject.
+  ObjId x = store.FindObject("x");
+  auto r2 = EvalFo(F::Atom("E", FoTerm::C(x), FoTerm::V(1), FoTerm::V(2)),
+                   store);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows.size(), 2u);
+}
+
+TEST(FoEval, NegationIsActiveDomainComplement) {
+  TripleStore store = ExampleThreeStore();
+  // ¬E(v0,v1,v2) over a 6-object adom: 216 - 3 rows.
+  auto r = EvalFo(
+      F::Not(F::Atom("E", FoTerm::V(0), FoTerm::V(1), FoTerm::V(2))), store);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 216u - 3u);
+}
+
+TEST(FoEval, ExistsProjects) {
+  TripleStore store = ExampleThreeStore();
+  FoPtr f = F::Exists(1, F::Atom("E", FoTerm::V(0), FoTerm::V(1),
+                                 FoTerm::V(2)));
+  auto r = EvalFo(f, store);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->vars, (std::vector<int>{0, 2}));
+  EXPECT_EQ(r->rows.size(), 3u);
+}
+
+TEST(FoEval, SimComparesDataValues) {
+  TripleStore store;
+  Triple t = store.Add("E", "u", "v", "w");
+  store.SetValue(t.s, DataValue::Int(1));
+  store.SetValue(t.p, DataValue::Int(1));
+  store.SetValue(t.o, DataValue::Int(2));
+  auto r = EvalFo(F::Sim(FoTerm::V(0), FoTerm::V(1)), store);
+  ASSERT_TRUE(r.ok());
+  // (u,u),(v,v),(w,w),(u,v),(v,u) — pairs with equal rho.
+  EXPECT_EQ(r->rows.size(), 5u);
+}
+
+TEST(FoEval, SentenceEvaluation) {
+  TripleStore store = ExampleThreeStore();
+  // ∃xyz E(x,y,z) — true; ∃x E(x,x,x) — false.
+  FoPtr some = F::ExistsAll(
+      {0, 1, 2}, F::Atom("E", FoTerm::V(0), FoTerm::V(1), FoTerm::V(2)));
+  FoPtr loop =
+      F::Exists(0, F::Atom("E", FoTerm::V(0), FoTerm::V(0), FoTerm::V(0)));
+  auto r1 = EvalFoSentence(some, store);
+  auto r2 = EvalFoSentence(loop, store);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(*r1);
+  EXPECT_FALSE(*r2);
+}
+
+TEST(FoEval, TrClIsTransitiveReachability) {
+  // Chain a -> b -> c -> d encoded as triples (x, x, y).
+  TripleStore store;
+  store.Add("E", "a", "a", "b");
+  store.Add("E", "b", "b", "c");
+  store.Add("E", "c", "c", "d");
+  // [trcl_{0,1} E(v0,v0,v1)](v0, v1): proper reachability (>= 1 step).
+  FoPtr edge = F::Atom("E", FoTerm::V(0), FoTerm::V(0), FoTerm::V(1));
+  FoPtr f = F::TrCl({0}, {1}, edge, {FoTerm::V(0)}, {FoTerm::V(1)});
+  auto r = EvalFo(f, store);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // pairs: ab ac ad bc bd cd = 6 (no reflexive pairs).
+  EXPECT_EQ(r->rows.size(), 6u);
+}
+
+TEST(FoEval, ShadowedQuantifierIsLocal) {
+  TripleStore store = ExampleThreeStore();
+  // (∃0 E(0,1,2)) ∧ E(0,1,2): the inner ∃0 must not leak.
+  FoPtr atom = F::Atom("E", FoTerm::V(0), FoTerm::V(1), FoTerm::V(2));
+  FoPtr f = F::And(F::Exists(0, atom), atom);
+  auto r = EvalFo(f, store);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->vars, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(r->rows.size(), 3u);  // same as the atom itself
+}
+
+}  // namespace
+}  // namespace trial

@@ -1,0 +1,106 @@
+// Unit tests for the graph module: the graph model, encodings to and
+// from triplestores, and the workload generators.
+
+#include <gtest/gtest.h>
+
+#include "graph/encode.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace trial {
+namespace {
+
+TEST(Graph, AdjacencyAndValues) {
+  Graph g;
+  g.AddEdge("u", "a", "v");
+  g.AddEdge("u", "b", "w");
+  g.AddEdge("v", "a", "w");
+  NodeId u = g.FindNode("u");
+  LabelId a = g.FindLabel("a");
+  EXPECT_EQ(g.Successors(u, a), std::vector<NodeId>{g.FindNode("v")});
+  EXPECT_EQ(g.Predecessors(g.FindNode("w"), a),
+            std::vector<NodeId>{g.FindNode("v")});
+  g.SetValue(u, DataValue::Int(5));
+  EXPECT_EQ(g.Value(u), DataValue::Int(5));
+  EXPECT_TRUE(g.Value(g.FindNode("v")).is_null());
+}
+
+TEST(Graph, AdjacencyRefreshesAfterNewEdges) {
+  Graph g;
+  g.AddEdge("u", "a", "v");
+  EXPECT_EQ(g.Out(g.FindNode("u")).size(), 1u);
+  g.AddEdge("u", "a", "w");
+  EXPECT_EQ(g.Out(g.FindNode("u")).size(), 2u);
+}
+
+TEST(Encode, GraphRoundTripsThroughStore) {
+  Graph g;
+  g.AddEdge("u", "a", "v");
+  g.AddEdge("v", "b", "u");
+  g.SetValue(g.FindNode("u"), DataValue::Int(1));
+  TripleStore store = GraphToTripleStore(g);
+  // O = V ∪ Σ.
+  EXPECT_EQ(store.NumObjects(), 4u);
+  EXPECT_EQ(store.TotalTriples(), 2u);
+  EXPECT_EQ(store.Value(store.FindObject("u")), DataValue::Int(1));
+
+  Graph back = TripleStoreToGraph(store);
+  EXPECT_TRUE(back.SameNamedGraph(g));
+  EXPECT_EQ(back.Value(back.FindNode("u")), DataValue::Int(1));
+}
+
+TEST(Generators, Deterministic) {
+  RandomStoreOptions opts;
+  opts.seed = 99;
+  TripleStore a = RandomTripleStore(opts);
+  TripleStore b = RandomTripleStore(opts);
+  EXPECT_EQ(*a.FindRelation("E"), *b.FindRelation("E"));
+}
+
+TEST(Generators, TransportShape) {
+  TransportOptions opts;
+  opts.num_cities = 20;
+  opts.num_services = 5;
+  opts.hierarchy_depth = 2;
+  opts.seed = 3;
+  TripleStore store = TransportNetwork(opts);
+  // The line alone gives 19 hops; hierarchy adds 2 triples per service.
+  EXPECT_GE(store.TotalTriples(), 19u + 10u);
+  EXPECT_NE(store.FindObject("part_of"), kInvalidIntern);
+  ObjId part_of = store.FindObject("part_of");
+  size_t hierarchy = 0;
+  for (const Triple& t : *store.FindRelation("E")) {
+    if (t.p == part_of) ++hierarchy;
+  }
+  EXPECT_EQ(hierarchy, 10u);  // 5 services x depth 2
+}
+
+TEST(Generators, SocialAttributesShape) {
+  SocialOptions opts;
+  opts.num_users = 10;
+  opts.num_connections = 20;
+  opts.seed = 4;
+  TripleStore store = SocialNetwork(opts);
+  for (const Triple& t : *store.FindRelation("E")) {
+    const DataValue& conn = store.Value(t.p);
+    ASSERT_TRUE(conn.is_tuple());
+    EXPECT_TRUE(TupleComponent(conn, 0).is_null());  // users' fields null
+    EXPECT_TRUE(TupleComponent(conn, 3).is_string());  // type
+    const DataValue& user = store.Value(t.s);
+    ASSERT_TRUE(user.is_tuple());
+    EXPECT_TRUE(TupleComponent(user, 0).is_string());  // name
+    EXPECT_TRUE(TupleComponent(user, 3).is_null());
+  }
+}
+
+TEST(Generators, CliqueChainCube) {
+  Graph clique = CliqueGraph(4);
+  EXPECT_EQ(clique.NumEdges(), 12u);
+  Graph chain = ChainGraph(5);
+  EXPECT_EQ(chain.NumEdges(), 4u);
+  TripleStore cube = CubeStore(3);
+  EXPECT_EQ(cube.TotalTriples(), 27u);
+}
+
+}  // namespace
+}  // namespace trial

@@ -1,0 +1,119 @@
+// NRE parsing and evaluation, and the RPQ product-automaton evaluator
+// cross-checked against algebraic composition (Section 2.1).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "langs/nre.h"
+#include "langs/rpq.h"
+#include "util/rng.h"
+
+namespace trial {
+namespace {
+
+NrePtr MustParse(std::string_view s) {
+  auto r = ParseNre(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << s;
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(NreParser, RoundTrips) {
+  for (const char* text :
+       {"a", "a-", "eps", "(a.b)", "(a+b)", "a*", "[a.b]", "(a.[b-]*)",
+        "((a.b)+(c.[d]))*"}) {
+    NrePtr e = MustParse(text);
+    ASSERT_NE(e, nullptr);
+    NrePtr again = MustParse(e->ToString());
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(e->ToString(), again->ToString()) << text;
+  }
+}
+
+TEST(NreParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseNre("(a.b").ok());
+  EXPECT_FALSE(ParseNre("a..b").ok());
+  EXPECT_FALSE(ParseNre("[a").ok());
+  EXPECT_FALSE(ParseNre("a b").ok());
+  EXPECT_FALSE(ParseNre("").ok());
+}
+
+TEST(NreEval, BasicSemantics) {
+  Graph g = ChainGraph(4, "a");  // v0 -a-> v1 -a-> v2 -a-> v3
+  EXPECT_EQ(EvalNre(MustParse("a"), g).size(), 3u);
+  EXPECT_EQ(EvalNre(MustParse("a.a"), g).size(), 2u);
+  // a* is reflexive-transitive: 4 diagonal + 3 + 2 + 1.
+  EXPECT_EQ(EvalNre(MustParse("a*"), g).size(), 10u);
+  // Inverse runs backwards.
+  BinRel inv = EvalNre(MustParse("a-"), g);
+  EXPECT_TRUE(inv.count({1, 0}));
+  EXPECT_FALSE(inv.count({0, 1}));
+}
+
+TEST(NreEval, NestingIsATest) {
+  Graph g;
+  g.AddEdge("u", "a", "v");
+  g.AddEdge("v", "b", "w");
+  // a.[b] : a-edges into nodes with an outgoing b-edge.
+  BinRel r = EvalNre(MustParse("a.[b]"), g);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.count({g.FindNode("u"), g.FindNode("v")}));
+  // a.[a] : v has no outgoing a-edge.
+  EXPECT_TRUE(EvalNre(MustParse("a.[a]"), g).empty());
+}
+
+TEST(NreEval, UnknownLabelIsEmpty) {
+  Graph g = ChainGraph(3, "a");
+  EXPECT_TRUE(EvalNre(MustParse("zz"), g).empty());
+  EXPECT_EQ(EvalNre(MustParse("zz*"), g).size(), 3u);  // just the diagonal
+}
+
+TEST(Rpq, RejectsNestedExpressions) {
+  EXPECT_FALSE(CompileRegexToNfa(MustParse("[a]")).ok());
+  EXPECT_FALSE(CompileRegexToNfa(MustParse("a.[b].c")).ok());
+}
+
+// Random plain regex.
+NrePtr RandomRegex(Rng* rng, int depth) {
+  const char* labels[] = {"a", "b", "c"};
+  if (depth <= 0 || rng->Chance(1, 4)) {
+    if (rng->Chance(1, 8)) return Nre::Eps();
+    return Nre::Label(labels[rng->Below(3)], rng->Chance(1, 4));
+  }
+  switch (rng->Below(3)) {
+    case 0:
+      return Nre::Concat(RandomRegex(rng, depth - 1),
+                         RandomRegex(rng, depth - 1));
+    case 1:
+      return Nre::Alt(RandomRegex(rng, depth - 1),
+                      RandomRegex(rng, depth - 1));
+    default:
+      return Nre::Star(RandomRegex(rng, depth - 1));
+  }
+}
+
+class RpqAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The two RPQ evaluation strategies (product automaton vs relational
+// composition) agree on random graphs and random regexes.
+TEST_P(RpqAgreementTest, ProductEqualsComposition) {
+  Rng rng(GetParam());
+  RandomGraphOptions gopts;
+  gopts.num_nodes = 12;
+  gopts.num_edges = 30;
+  gopts.num_labels = 3;
+  gopts.seed = GetParam() * 31 + 7;
+  Graph g = RandomGraph(gopts);
+  for (int i = 0; i < 8; ++i) {
+    NrePtr e = RandomRegex(&rng, 3);
+    auto product = EvalRpqProduct(e, g);
+    ASSERT_TRUE(product.ok()) << product.status().ToString();
+    BinRel composed = EvalNre(e, g);
+    EXPECT_EQ(*product, composed) << e->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpqAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace trial

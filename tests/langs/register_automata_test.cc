@@ -1,0 +1,114 @@
+// E20: register automata / regular expressions with memory
+// (Proposition 6).
+//
+//  * e_n is nonempty exactly on graphs with a path through n distinct
+//    data values — the property separating register automata from
+//    TriAL* (it is not expressible with six variables);
+//  * register automata are monotone in the edge set, so the negated-edge
+//    TriAL query of Theorem 8 / Proposition 6 is not expressible by them
+//    (witnessed on the paper's two graphs).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "langs/register_automata.h"
+
+namespace trial {
+namespace {
+
+// Clique over label "a" whose nodes carry `distinct` different values
+// (cyclically repeated).
+Graph ValuedClique(size_t n, size_t distinct) {
+  Graph g = CliqueGraph(n, "a");
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    g.SetValue(v, DataValue::Int(static_cast<int64_t>(v % distinct)));
+  }
+  return g;
+}
+
+TEST(RegisterAutomata, BindAndTestBasics) {
+  // ↓x1 · a[x1≠]: an a-edge to a node with a different value.
+  Graph g;
+  g.AddEdge("u", "a", "v");
+  g.AddEdge("u", "a", "w");
+  g.SetValue(g.FindNode("u"), DataValue::Int(1));
+  g.SetValue(g.FindNode("v"), DataValue::Int(1));
+  g.SetValue(g.FindNode("w"), DataValue::Int(2));
+
+  RemPtr e = Rem::Concat(Rem::Bind(0), Rem::Move("a", {RegTest{0, false}}));
+  auto r = EvalRem(e, g);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->count({g.FindNode("u"), g.FindNode("w")}));
+
+  RemPtr eq = Rem::Concat(Rem::Bind(0), Rem::Move("a", {RegTest{0, true}}));
+  auto req = EvalRem(eq, g);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->size(), 1u);
+  EXPECT_TRUE(req->count({g.FindNode("u"), g.FindNode("v")}));
+}
+
+TEST(RegisterAutomata, StarAndUnion) {
+  Graph g = ChainGraph(5, "a");
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    g.SetValue(v, DataValue::Int(v));
+  }
+  // (a[])* : plain reachability.
+  RemPtr e = Rem::Star(Rem::Move("a"));
+  auto r = EvalRem(e, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 15u);  // all (i <= j) pairs on a 5-chain
+}
+
+TEST(RegisterAutomata, DistinctValuesExpressionDetectsThreshold) {
+  // e_n nonempty iff >= n distinct values occur (on a clique any order
+  // of visits is available).
+  for (int n = 2; n <= 4; ++n) {
+    Graph enough = ValuedClique(6, n);
+    Graph too_few = ValuedClique(6, n - 1);
+    RemPtr e = DistinctValuesExpr(n);
+    auto r_enough = EvalRem(e, enough);
+    auto r_too_few = EvalRem(e, too_few);
+    ASSERT_TRUE(r_enough.ok() && r_too_few.ok());
+    EXPECT_FALSE(r_enough->empty()) << "n=" << n;
+    EXPECT_TRUE(r_too_few->empty()) << "n=" << n;
+  }
+}
+
+TEST(RegisterAutomata, TestAgainstUnboundRegisterFails) {
+  Graph g = ChainGraph(2, "a");
+  RemPtr e = Rem::Move("a", {RegTest{0, false}});  // x1 never bound
+  auto r = EvalRem(e, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(PropositionSix, RegisterAutomataAreMonotone) {
+  // The paper's witness: G ⊂ G′ (adding an a-edge); every REM answer on
+  // G survives in G′, unlike the TriAL "no a-edge" query (see
+  // TheoremEight.NegatedEdgeQueryIsNotMonotone).
+  Graph g;
+  g.AddEdge("v", "b", "vp");
+  g.SetValue(g.FindNode("v"), DataValue::Int(1));
+  g.SetValue(g.FindNode("vp"), DataValue::Int(2));
+  Graph gp = g;
+  gp.AddEdge("v", "a", "vp");
+
+  const RemPtr exprs[] = {
+      Rem::Star(Rem::Move("b")),
+      Rem::Concat(Rem::Bind(0), Rem::Move("b", {RegTest{0, false}})),
+      Rem::Star(Rem::Alt(Rem::Move("a"), Rem::Move("b"))),
+      DistinctValuesExpr(2, "b"),
+  };
+  for (const RemPtr& e : exprs) {
+    auto small = EvalRem(e, g);
+    auto big = EvalRem(e, gp);
+    ASSERT_TRUE(small.ok() && big.ok());
+    for (const IdPair& p : *small) {
+      EXPECT_TRUE(big->count(p)) << e->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trial

@@ -1,0 +1,150 @@
+// E05 + E06: the lossiness of the σ(·) graph encoding (Proposition 1)
+// and the resulting inexpressibility of query Q in nSPARQL (Theorem 1) —
+// executed, not just proved:
+//
+//  * σ(D1) and σ(D2) are literally the same graph although D1 ≠ D2;
+//  * hence every NRE over the encodings agrees on D1/D2 (sampled);
+//  * the triple-semantics (nSPARQL) axes also agree on D1/D2 (sampled),
+//    since that semantics factors through σ;
+//  * but the TriAL* expression for Q distinguishes D1 from D2:
+//    (St_Andrews, London) ∈ Q(D1) \ Q(D2).
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "langs/nre.h"
+#include "rdf/fixtures.h"
+#include "rdf/sigma.h"
+#include "util/rng.h"
+
+namespace trial {
+namespace {
+
+NrePtr RandomNre(Rng* rng, int depth) {
+  const char* axes[] = {"next", "edge", "node"};
+  if (depth <= 0 || rng->Chance(1, 4)) {
+    return Nre::Label(axes[rng->Below(3)], rng->Chance(1, 4));
+  }
+  switch (rng->Below(4)) {
+    case 0:
+      return Nre::Concat(RandomNre(rng, depth - 1), RandomNre(rng, depth - 1));
+    case 1:
+      return Nre::Alt(RandomNre(rng, depth - 1), RandomNre(rng, depth - 1));
+    case 2:
+      return Nre::Star(RandomNre(rng, depth - 1));
+    default:
+      return Nre::Concat(RandomNre(rng, depth - 1),
+                         Nre::Test(RandomNre(rng, depth - 1)));
+  }
+}
+
+TEST(SigmaEncoding, ProducesTheThreeEdgesPerTriple) {
+  RdfGraph d;
+  d.Add("London", "Train_Op_2", "Brussels");
+  Graph g = SigmaEncode(d);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  NodeId lon = g.FindNode("London");
+  NodeId op = g.FindNode("Train_Op_2");
+  NodeId bru = g.FindNode("Brussels");
+  ASSERT_NE(lon, kInvalidIntern);
+  ASSERT_NE(op, kInvalidIntern);
+  ASSERT_NE(bru, kInvalidIntern);
+  BinRel edge = EvalNre(Nre::Label("edge"), g);
+  BinRel node = EvalNre(Nre::Label("node"), g);
+  BinRel next = EvalNre(Nre::Label("next"), g);
+  EXPECT_TRUE(edge.count({lon, op}));
+  EXPECT_TRUE(node.count({op, bru}));
+  EXPECT_TRUE(next.count({lon, bru}));
+}
+
+TEST(PropositionOne, SigmaCollapsesD1AndD2) {
+  RdfGraph d1 = PropositionOneD1();
+  RdfGraph d2 = PropositionOneD2();
+  ASSERT_NE(d1, d2) << "D1 and D2 must differ as RDF documents";
+  EXPECT_EQ(d1.size(), d2.size() + 1);
+
+  Graph s1 = SigmaEncode(d1);
+  Graph s2 = SigmaEncode(d2);
+  EXPECT_TRUE(s1.SameNamedGraph(s2))
+      << "the paper's Proposition 1 hinges on σ(D1) = σ(D2)";
+}
+
+TEST(PropositionOne, NoNreOverSigmaDistinguishes) {
+  Graph s1 = SigmaEncode(PropositionOneD1());
+  Graph s2 = SigmaEncode(PropositionOneD2());
+  // Node ids may differ between the two graphs; compare by name.
+  auto named = [](const Graph& g, const BinRel& r) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const IdPair& p : r) {
+      out.emplace(std::string(g.NodeName(p.first)),
+                  std::string(g.NodeName(p.second)));
+    }
+    return out;
+  };
+  Rng rng(271828);
+  for (int i = 0; i < 40; ++i) {
+    NrePtr e = RandomNre(&rng, 3);
+    EXPECT_EQ(named(s1, EvalNre(e, s1)), named(s2, EvalNre(e, s2)))
+        << e->ToString();
+  }
+}
+
+TEST(TheoremOne, TripleSemanticsNresAgreeOnD1D2) {
+  TripleStore t1 = PropositionOneD1().ToTripleStore("E");
+  TripleStore t2 = PropositionOneD2().ToTripleStore("E");
+  auto named = [](const TripleStore& s, const BinRel& r) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const IdPair& p : r) {
+      out.emplace(std::string(s.ObjectName(p.first)),
+                  std::string(s.ObjectName(p.second)));
+    }
+    return out;
+  };
+  Rng rng(314159);
+  for (int i = 0; i < 40; ++i) {
+    NrePtr e = RandomNre(&rng, 3);
+    auto r1 = EvalNreTriple(e, t1);
+    auto r2 = EvalNreTriple(e, t2);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_EQ(named(t1, *r1), named(t2, *r2)) << e->ToString();
+  }
+}
+
+TEST(TheoremOne, TriALStarQueryQDistinguishesD1D2) {
+  TripleStore t1 = PropositionOneD1().ToTripleStore("E");
+  TripleStore t2 = PropositionOneD2().ToTripleStore("E");
+  auto query_q = [] {
+    ExprPtr inner = Expr::StarRight(
+        Expr::Rel("E"),
+        Spec(Pos::P1, Pos::P3p, Pos::P3, {Eq(Pos::P2, Pos::P1p)}));
+    return Expr::StarRight(
+        inner, Spec(Pos::P1, Pos::P2, Pos::P3p,
+                    {Eq(Pos::P3, Pos::P1p), Eq(Pos::P2, Pos::P2p)}));
+  };
+  auto engine = MakeSmartEvaluator();
+  auto q1 = engine->Eval(query_q(), t1);
+  auto q2 = engine->Eval(query_q(), t2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+
+  auto has_pair = [](const TripleStore& s, const TripleSet& set,
+                     const char* from, const char* to) {
+    ObjId f = s.FindObject(from), t = s.FindObject(to);
+    for (auto [a, b] : ProjectSO(set)) {
+      if (a == f && b == t) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_pair(t1, *q1, "St_Andrews", "London"))
+      << "via Bus_Op_1 ⊑ NatExpress and Train_Op_1 ⊑ EastCoast ⊑ NatExpress";
+  EXPECT_FALSE(has_pair(t2, *q2, "St_Andrews", "London"))
+      << "D2 lacks the Edinburgh->London leg of Train_Op_1";
+}
+
+TEST(TheoremOne, AxisNresRejectNonAxisLabels) {
+  TripleStore t1 = TransportStore();
+  EXPECT_FALSE(EvalNreTriple(Nre::Label("part_of"), t1).ok());
+}
+
+}  // namespace
+}  // namespace trial

@@ -1,0 +1,121 @@
+// Unit tests for the storage module: data values, triple sets, stores.
+
+#include <gtest/gtest.h>
+
+#include "rdf/fixtures.h"
+#include "storage/data_value.h"
+#include "storage/triple_set.h"
+#include "storage/triple_store.h"
+
+namespace trial {
+namespace {
+
+TEST(DataValue, EqualityAcrossKinds) {
+  EXPECT_EQ(DataValue::Null(), DataValue::Null());
+  EXPECT_EQ(DataValue::Int(7), DataValue::Int(7));
+  EXPECT_NE(DataValue::Int(7), DataValue::Int(8));
+  EXPECT_NE(DataValue::Int(7), DataValue::Str("7"));
+  EXPECT_EQ(DataValue::Str("a"), DataValue::Str("a"));
+  DataValue t1 = DataValue::Tuple({DataValue::Int(1), DataValue::Null()});
+  DataValue t2 = DataValue::Tuple({DataValue::Int(1), DataValue::Null()});
+  DataValue t3 = DataValue::Tuple({DataValue::Int(1), DataValue::Int(2)});
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+  EXPECT_EQ(t1.Hash(), t2.Hash());
+}
+
+TEST(DataValue, OrderingIsTotal) {
+  std::vector<DataValue> vals = {
+      DataValue::Str("b"), DataValue::Int(2), DataValue::Null(),
+      DataValue::Tuple({DataValue::Int(1)}), DataValue::Int(1),
+      DataValue::Str("a")};
+  std::sort(vals.begin(), vals.end());
+  EXPECT_TRUE(vals[0].is_null());
+  EXPECT_EQ(vals[1], DataValue::Int(1));
+  EXPECT_EQ(vals[3], DataValue::Str("a"));
+  EXPECT_TRUE(vals[5].is_tuple());
+}
+
+TEST(DataValue, TupleComponentAccess) {
+  DataValue t = DataValue::Tuple({DataValue::Int(1), DataValue::Str("x")});
+  EXPECT_EQ(TupleComponent(t, 0), DataValue::Int(1));
+  EXPECT_EQ(TupleComponent(t, 1), DataValue::Str("x"));
+  EXPECT_TRUE(TupleComponent(t, 5).is_null());
+  EXPECT_TRUE(TupleComponent(DataValue::Int(3), 0).is_null());
+}
+
+TEST(DataValue, ToStringRendering) {
+  EXPECT_EQ(DataValue::Null().ToString(), "null");
+  EXPECT_EQ(DataValue::Int(-3).ToString(), "-3");
+  EXPECT_EQ(DataValue::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(
+      DataValue::Tuple({DataValue::Int(1), DataValue::Null()}).ToString(),
+      "(1, null)");
+}
+
+TEST(TripleSet, InsertNormalizeDedup) {
+  TripleSet s;
+  s.Insert(1, 2, 3);
+  s.Insert(1, 2, 3);
+  s.Insert(0, 0, 0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Triple{1, 2, 3}));
+  EXPECT_FALSE(s.Contains(Triple{3, 2, 1}));
+  // Sorted order.
+  EXPECT_EQ(s.triples().front(), (Triple{0, 0, 0}));
+}
+
+TEST(TripleSet, SetAlgebra) {
+  TripleSet a({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+  TripleSet b({{2, 2, 2}, {4, 4, 4}});
+  EXPECT_EQ(TripleSet::Union(a, b).size(), 4u);
+  EXPECT_EQ(TripleSet::Difference(a, b).size(), 2u);
+  EXPECT_EQ(TripleSet::Intersection(a, b).size(), 1u);
+  EXPECT_EQ(TripleSet::Difference(a, a).size(), 0u);
+}
+
+TEST(TripleStore, ObjectsValuesRelations) {
+  TripleStore store;
+  ObjId a = store.InternObject("a");
+  EXPECT_EQ(store.InternObject("a"), a);
+  EXPECT_TRUE(store.Value(a).is_null());
+  store.SetValue(a, DataValue::Int(9));
+  EXPECT_EQ(store.Value(a), DataValue::Int(9));
+
+  Triple t = store.Add("E", "a", "b", "c");
+  EXPECT_EQ(t.s, a);
+  EXPECT_EQ(store.TotalTriples(), 1u);
+  EXPECT_NE(store.FindRelation("E"), nullptr);
+  EXPECT_EQ(store.FindRelation("F"), nullptr);
+  EXPECT_EQ(store.TripleToString(t), "(a, b, c)");
+
+  ObjId b = store.FindObject("b");
+  store.SetValue(b, DataValue::Int(9));
+  EXPECT_TRUE(store.SameValue(a, b));
+}
+
+TEST(TripleStore, MultipleRelations) {
+  TripleStore store;
+  store.Add("E1", "x", "y", "z");
+  store.Add("E2", "x", "y", "w");
+  EXPECT_EQ(store.NumRelations(), 2u);
+  EXPECT_EQ(store.TotalTriples(), 2u);
+  EXPECT_EQ(store.RelationName(0), "E1");
+}
+
+TEST(Fixtures, MarioNetworkMatchesPaper) {
+  TripleStore store = MarioSocialNetwork();
+  EXPECT_EQ(store.TotalTriples(), 3u);
+  ObjId mario = store.FindObject("o175");
+  ASSERT_NE(mario, kInvalidIntern);
+  const DataValue& v = store.Value(mario);
+  ASSERT_TRUE(v.is_tuple());
+  EXPECT_EQ(TupleComponent(v, 0), DataValue::Str("Mario"));
+  EXPECT_EQ(TupleComponent(v, 2), DataValue::Int(23));
+  EXPECT_TRUE(TupleComponent(v, 3).is_null());
+  ObjId c163 = store.FindObject("c163");
+  EXPECT_EQ(TupleComponent(store.Value(c163), 3), DataValue::Str("rival"));
+}
+
+}  // namespace
+}  // namespace trial

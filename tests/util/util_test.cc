@@ -1,0 +1,120 @@
+// Unit tests for the util module: Status/Result, interner, bit
+// containers, RNG determinism, power-law fitting.
+
+#include <gtest/gtest.h>
+
+#include "util/bit_matrix.h"
+#include "util/fit.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace trial {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("relation X");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "not-found: relation X");
+}
+
+TEST(Status, ResultPropagation) {
+  auto fails = []() -> Result<int> {
+    return Status::InvalidArgument("nope");
+  };
+  auto wraps = [&]() -> Result<int> {
+    TRIAL_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  Result<int> r = wraps();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  Result<int> ok = 41;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok + 1, 42);
+}
+
+TEST(Interner, BidirectionalAndStable) {
+  StringInterner in;
+  InternId a = in.Intern("alpha");
+  InternId b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.Get(a), "alpha");
+  EXPECT_EQ(in.TryGet("beta"), b);
+  EXPECT_EQ(in.TryGet("gamma"), kInvalidIntern);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(BitMatrix, TransitiveClosure) {
+  BitMatrix m(5);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  m.Set(3, 4);
+  m.TransitiveClosureInPlace();
+  EXPECT_TRUE(m.Get(0, 2));
+  EXPECT_TRUE(m.Get(0, 0));  // reflexive
+  EXPECT_FALSE(m.Get(2, 0));
+  EXPECT_FALSE(m.Get(0, 4));
+  EXPECT_TRUE(m.Get(3, 4));
+}
+
+TEST(BitTensor3, SetOperations) {
+  BitTensor3 a(8), b(8);
+  a.Set(1, 2, 3);
+  a.Set(4, 5, 6);
+  b.Set(4, 5, 6);
+  b.Set(7, 0, 1);
+  BitTensor3 u = a;
+  EXPECT_TRUE(u.OrInPlace(b));
+  EXPECT_EQ(u.Count(), 3u);
+  BitTensor3 d = a;
+  d.SubtractInPlace(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Get(1, 2, 3));
+  BitTensor3 i = a;
+  i.AndInPlace(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Get(4, 5, 6));
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.Below(10), 10u);
+    int64_t r = c.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double u = c.Unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Fit, RecoversKnownExponents) {
+  std::vector<double> x = {100, 200, 400, 800, 1600};
+  std::vector<double> quad, lin;
+  for (double v : x) {
+    quad.push_back(3e-6 * v * v);
+    lin.push_back(2e-4 * v);
+  }
+  PowerFit fq = FitPowerLaw(x, quad);
+  PowerFit fl = FitPowerLaw(x, lin);
+  EXPECT_NEAR(fq.exponent, 2.0, 1e-6);
+  EXPECT_NEAR(fl.exponent, 1.0, 1e-6);
+  EXPECT_GT(fq.r2, 0.999);
+}
+
+TEST(Fit, HandlesDegenerateInput) {
+  EXPECT_EQ(FitPowerLaw({}, {}).exponent, 0.0);
+  EXPECT_EQ(FitPowerLaw({1}, {2}).exponent, 0.0);
+  EXPECT_EQ(FitPowerLaw({0, -1}, {1, 1}).exponent, 0.0);  // skipped points
+}
+
+}  // namespace
+}  // namespace trial
