@@ -63,6 +63,7 @@ struct ObjTerm {
     return is_pos == o.is_pos &&
            (is_pos ? pos == o.pos : constant == o.constant);
   }
+  bool operator!=(const ObjTerm& o) const { return !(*this == o); }
 };
 
 /// A θ atom:  lhs (=|≠) rhs.
@@ -77,6 +78,7 @@ struct ObjConstraint {
   bool operator==(const ObjConstraint& o) const {
     return lhs == o.lhs && rhs == o.rhs && equal == o.equal;
   }
+  bool operator!=(const ObjConstraint& o) const { return !(*this == o); }
 };
 
 /// One side of an η constraint: ρ(position) or a data-value constant.
@@ -98,6 +100,7 @@ struct DataTerm {
     return is_pos == o.is_pos &&
            (is_pos ? pos == o.pos : constant == o.constant);
   }
+  bool operator!=(const DataTerm& o) const { return !(*this == o); }
 };
 
 /// An η atom:  ρ(lhs) (=|≠) ρ(rhs)  or  ρ(lhs) (=|≠) d.
@@ -113,6 +116,7 @@ struct DataConstraint {
   bool operator==(const DataConstraint& o) const {
     return lhs == o.lhs && rhs == o.rhs && equal == o.equal;
   }
+  bool operator!=(const DataConstraint& o) const { return !(*this == o); }
 };
 
 /// A full condition (θ, η): conjunction of all atoms.
@@ -153,6 +157,7 @@ struct CondSet {
   bool operator==(const CondSet& o) const {
     return theta == o.theta && eta == o.eta;
   }
+  bool operator!=(const CondSet& o) const { return !(*this == o); }
 };
 
 // ---- condition construction sugar -------------------------------------

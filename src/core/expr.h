@@ -47,6 +47,7 @@ struct JoinSpec {
   bool operator==(const JoinSpec& o) const {
     return out == o.out && cond == o.cond;
   }
+  bool operator!=(const JoinSpec& o) const { return !(*this == o); }
 };
 
 /// Node kinds of the algebra.

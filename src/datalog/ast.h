@@ -34,6 +34,7 @@ struct Term {
   bool operator==(const Term& o) const {
     return is_var == o.is_var && name == o.name;
   }
+  bool operator!=(const Term& o) const { return !(*this == o); }
 };
 
 /// A relational atom  pred(t1, t2, t3).

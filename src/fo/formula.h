@@ -32,6 +32,7 @@ struct FoTerm {
     return is_var == o.is_var &&
            (is_var ? var == o.var : constant == o.constant);
   }
+  bool operator!=(const FoTerm& o) const { return !(*this == o); }
 };
 
 class FoFormula;

@@ -29,6 +29,7 @@ struct Edge {
   friend bool operator==(const Edge& x, const Edge& y) {
     return x.from == y.from && x.label == y.label && x.to == y.to;
   }
+  friend bool operator!=(const Edge& x, const Edge& y) { return !(x == y); }
   friend bool operator<(const Edge& x, const Edge& y) {
     if (x.from != y.from) return x.from < y.from;
     if (x.label != y.label) return x.label < y.label;

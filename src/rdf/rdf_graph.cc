@@ -1,5 +1,7 @@
 #include "rdf/rdf_graph.h"
 
+#include <ostream>
+
 namespace trial {
 
 void RdfGraph::Add(std::string_view s, std::string_view p,
@@ -20,6 +22,17 @@ TripleStore RdfGraph::ToTripleStore(const std::string& rel) const {
     store.Add(rel, t[0], t[1], t[2]);
   }
   return store;
+}
+
+std::ostream& operator<<(std::ostream& os, const RdfGraph& g) {
+  os << "{";
+  bool first = true;
+  for (const RdfGraph::NameTriple& t : g.triples()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "(" << t[0] << ", " << t[1] << ", " << t[2] << ")";
+  }
+  return os << "}";
 }
 
 }  // namespace trial

@@ -5,6 +5,7 @@
 #define TRIAL_RDF_RDF_GRAPH_H_
 
 #include <array>
+#include <iosfwd>
 #include <set>
 #include <string>
 #include <string_view>
@@ -33,10 +34,15 @@ class RdfGraph {
   TripleStore ToTripleStore(const std::string& rel = "E") const;
 
   bool operator==(const RdfGraph& o) const { return triples_ == o.triples_; }
+  bool operator!=(const RdfGraph& o) const { return !(*this == o); }
 
  private:
   std::set<NameTriple> triples_;
 };
+
+/// Renders the document as "{(s, p, o), ...}"; this is what gtest
+/// assertion failures print.
+std::ostream& operator<<(std::ostream& os, const RdfGraph& g);
 
 }  // namespace trial
 

@@ -46,6 +46,7 @@ class BitMatrix {
   bool operator==(const BitMatrix& o) const {
     return n_ == o.n_ && bits_ == o.bits_;
   }
+  bool operator!=(const BitMatrix& o) const { return !(*this == o); }
 
  private:
   size_t n_ = 0;
@@ -88,6 +89,7 @@ class BitTensor3 {
   bool operator==(const BitTensor3& o) const {
     return n_ == o.n_ && words_ == o.words_;
   }
+  bool operator!=(const BitTensor3& o) const { return !(*this == o); }
 
  private:
   size_t n_ = 0;

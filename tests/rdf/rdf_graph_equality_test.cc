@@ -1,0 +1,90 @@
+// Regression tests for RdfGraph value semantics: operator== / operator!=
+// must stay a consistent pair (the seed shipped == without !=, which
+// broke ASSERT_NE in sigma_nsparql_test), and gtest failure output must
+// stay readable via operator<<.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/rdf_graph.h"
+
+namespace trial {
+namespace {
+
+RdfGraph SmallGraph() {
+  RdfGraph g;
+  g.Add("St_Andrews", "bus", "Edinburgh");
+  g.Add("Edinburgh", "train", "London");
+  return g;
+}
+
+TEST(RdfGraphEquality, EqualGraphsCompareEqual) {
+  RdfGraph a = SmallGraph();
+  RdfGraph b = SmallGraph();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RdfGraphEquality, InsertionOrderIsIrrelevant) {
+  RdfGraph a;
+  a.Add("x", "p", "y");
+  a.Add("y", "q", "z");
+  RdfGraph b;
+  b.Add("y", "q", "z");
+  b.Add("x", "p", "y");
+  EXPECT_EQ(a, b);
+}
+
+TEST(RdfGraphEquality, DuplicateAddsDoNotChangeValue) {
+  RdfGraph a = SmallGraph();
+  RdfGraph b = SmallGraph();
+  b.Add("St_Andrews", "bus", "Edinburgh");
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RdfGraphEquality, DifferingTripleMakesGraphsUnequal) {
+  RdfGraph a = SmallGraph();
+  RdfGraph b = SmallGraph();
+  // Same size, one triple swapped out.
+  RdfGraph c;
+  c.Add("St_Andrews", "bus", "Edinburgh");
+  c.Add("Edinburgh", "plane", "London");
+  ASSERT_EQ(a.size(), c.size());
+  EXPECT_TRUE(a != c);
+  EXPECT_FALSE(a == c);
+  ASSERT_NE(a, c);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RdfGraphEquality, DifferingSizeMakesGraphsUnequal) {
+  RdfGraph a = SmallGraph();
+  RdfGraph b = SmallGraph();
+  b.Add("London", "eurostar", "Brussels");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, a);
+}
+
+TEST(RdfGraphEquality, EmptyGraphsAreEqual) {
+  RdfGraph a;
+  RdfGraph b;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, SmallGraph());
+}
+
+TEST(RdfGraphEquality, StreamOutputListsTriples) {
+  RdfGraph g;
+  g.Add("s", "p", "o");
+  std::ostringstream os;
+  os << g;
+  EXPECT_EQ(os.str(), "{(s, p, o)}");
+
+  std::ostringstream empty;
+  empty << RdfGraph();
+  EXPECT_EQ(empty.str(), "{}");
+}
+
+}  // namespace
+}  // namespace trial
