@@ -54,7 +54,7 @@ void Run() {
   ExprPtr e8 = JoinChain(8);
   TablePrinter tb({"|T|", "smart_ms"});
   std::vector<double> bsizes, btimes;
-  for (size_t n : {500, 1000, 2000, 4000}) {
+  for (size_t n : bench::Sweep({500, 1000, 2000, 4000})) {
     RandomStoreOptions o2;
     o2.num_objects = n / 8;
     o2.num_triples = n;

@@ -10,7 +10,9 @@
 #define TRIAL_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,23 @@
 namespace trial {
 namespace bench {
 
+/// True when the TRIAL_BENCH_SMOKE environment variable is set (CI):
+/// sweeps clamp to their smallest sizes and timing loops run a single
+/// repetition, so every bench binary executes in seconds and bench code
+/// cannot rot unexercised.
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("TRIAL_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+/// A bench's input-size sweep: the full list normally, only the first
+/// two sizes (enough for a degenerate fit) in smoke mode.
+inline std::vector<size_t> Sweep(std::initializer_list<size_t> sizes) {
+  std::vector<size_t> out(sizes);
+  if (SmokeMode() && out.size() > 2) out.resize(2);
+  return out;
+}
+
 /// Runs `fn` once (workloads here are > milliseconds; no repetition
 /// needed for stable ordering conclusions) and returns seconds.
 inline double TimeOnce(const std::function<void()>& fn) {
@@ -29,7 +48,8 @@ inline double TimeOnce(const std::function<void()>& fn) {
   return t.Seconds();
 }
 
-/// Runs `fn` enough times to accumulate ~20ms and returns per-run secs.
+/// Runs `fn` enough times to accumulate ~20ms (one repetition in smoke
+/// mode) and returns per-run secs.
 inline double TimeStable(const std::function<void()>& fn) {
   Timer total;
   int runs = 0;
@@ -39,7 +59,7 @@ inline double TimeStable(const std::function<void()>& fn) {
     fn();
     elapsed += t.Seconds();
     ++runs;
-  } while (elapsed < 0.02 && runs < 1000);
+  } while (!SmokeMode() && elapsed < 0.02 && runs < 1000);
   return elapsed / runs;
 }
 

@@ -76,7 +76,7 @@ void Run() {
   auto smart = MakeSmartEvaluator();
   TablePrinter tb({"|T|", "direct_ms", "translate+eval_ms", "answers"});
   std::vector<double> bsizes, t_direct, t_translated;
-  for (size_t n : {500, 1000, 2000, 4000, 8000}) {
+  for (size_t n : bench::Sweep({500, 1000, 2000, 4000, 8000})) {
     TransportOptions opts;
     opts.num_cities = n / 2;
     opts.num_services = n / 20 + 2;

@@ -42,7 +42,7 @@ void Run() {
   std::printf("sweep (a): |T| grows, |O| = 256 fixed\n");
   TablePrinter ta({"|T|", "naive_ms", "smart_ms"});
   std::vector<double> sizes, t_naive, t_smart;
-  for (size_t n : {1000, 2000, 4000, 8000, 16000}) {
+  for (size_t n : bench::Sweep({1000, 2000, 4000, 8000, 16000})) {
     RandomStoreOptions opts;
     opts.num_objects = 256;
     opts.num_triples = n;

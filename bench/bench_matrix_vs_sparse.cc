@@ -31,7 +31,7 @@ void Run() {
   constexpr size_t kObjects = 96;  // n^3 = 884k cells
   TablePrinter table(
       {"|T|", "density", "matrix_ms", "naive_ms", "smart_ms"});
-  for (size_t t : {100, 400, 1600, 6400, 25600}) {
+  for (size_t t : bench::Sweep({100, 400, 1600, 6400, 25600})) {
     RandomStoreOptions opts;
     opts.num_objects = kObjects;
     opts.num_triples = t;

@@ -40,7 +40,7 @@ void Run() {
   TablePrinter table({"cities", "|T|", "naive_ms", "matrix_ms", "smart_ms",
                       "answer_triples"});
   std::vector<double> sizes, t_smart;
-  for (size_t cities : {50, 100, 200, 400, 800}) {
+  for (size_t cities : bench::Sweep({50, 100, 200, 400, 800})) {
     TransportOptions opts;
     opts.num_cities = cities;
     opts.num_services = cities / 8 + 2;

@@ -41,7 +41,7 @@ void Run() {
 
   TablePrinter table({"|D|", "|sigma(D)| edges", "nre_on_sigma_ms",
                       "trial_on_D_ms", "pairs(nre)", "triples(trial)"});
-  for (size_t n : {250, 500, 1000, 2000, 4000}) {
+  for (size_t n : bench::Sweep({250, 500, 1000, 2000, 4000})) {
     TransportOptions opts;
     opts.num_cities = n / 2;
     opts.num_services = n / 20 + 2;

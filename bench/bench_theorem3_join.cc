@@ -39,7 +39,7 @@ void Run() {
   TablePrinter table({"|T|", "|O|", "naive_ms", "matrix_ms", "smart(neq)_ms",
                       "smart(eq)_ms", "out_triples"});
   std::vector<double> sizes, t_naive, t_matrix, t_smart, t_smart_eq;
-  for (size_t n : {200, 400, 800, 1600, 3200, 6400}) {
+  for (size_t n : bench::Sweep({200, 400, 800, 1600, 3200, 6400})) {
     RandomStoreOptions opts;
     opts.num_objects = n / 8;
     opts.num_triples = n;

@@ -33,7 +33,7 @@ void Run() {
   TablePrinter table(
       {"|T|", "|O|", "naive_ms", "semi-naive_ms", "out_triples"});
   std::vector<double> sizes, t_naive, t_smart;
-  for (size_t n : {100, 200, 400, 800, 1600}) {
+  for (size_t n : bench::Sweep({100, 200, 400, 800, 1600})) {
     RandomStoreOptions opts;
     opts.num_objects = n / 4;
     opts.num_triples = n;

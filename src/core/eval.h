@@ -69,6 +69,14 @@ Status ValidateExpr(const ExprPtr& e);
 /// triplestore database", the domain of the universal relation U).
 std::vector<ObjId> ActiveObjects(const TripleStore& store);
 
+/// Selection σ_{cond}(in) with index pushdown, shared by the engines:
+/// equality-to-constant θ atoms bind columns, which route through the
+/// access-path API (TripleSet::Lookup / LookupPair) instead of a linear
+/// scan; the full condition is re-verified on every candidate.
+/// Pre: `cond` is unary (ValidateExpr enforces this).
+TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
+                        const TripleStore& store);
+
 /// π_{1,3}: the pairs (s, o) of a triple set, as triples (s, s, o) are
 /// NOT produced — this is the API-edge projection used when comparing
 /// TriAL* with binary graph queries (Section 6.2); it leaves the algebra.

@@ -50,6 +50,51 @@ std::vector<ObjId> ActiveObjects(const TripleStore& store) {
   return out;
 }
 
+TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
+                        const TripleStore& store) {
+  // Columns pinned to a constant by an equality atom.  Two different
+  // constants on the same column make the selection empty.
+  bool bind[3] = {false, false, false};
+  ObjId val[3] = {0, 0, 0};
+  for (const ObjConstraint& c : cond.theta) {
+    if (!c.equal || c.lhs.is_pos == c.rhs.is_pos) continue;
+    const ObjTerm& pos_term = c.lhs.is_pos ? c.lhs : c.rhs;
+    const ObjTerm& const_term = c.lhs.is_pos ? c.rhs : c.lhs;
+    int col = PosColumn(pos_term.pos);
+    if (bind[col] && val[col] != const_term.constant) return TripleSet();
+    bind[col] = true;
+    val[col] = const_term.constant;
+  }
+  TripleSet out;
+  auto emit = [&](const Triple& t) {
+    if (cond.HoldsUnary(t, store)) out.Insert(t);
+  };
+  int a = -1, b = -1;
+  for (int col = 0; col < 3; ++col) {
+    if (!bind[col]) continue;
+    if (a < 0) {
+      a = col;
+    } else if (b < 0) {
+      b = col;
+    }
+  }
+  // A selection probes its input exactly once, so only take the index
+  // route when the needed permutation is free or its build amortizes
+  // (store-backed input); for a fresh intermediate a linear scan is
+  // cheaper than a one-shot copy+sort.
+  AccessPath path = PlanAccess(bind[0], bind[1], bind[2]);
+  if (a < 0 || !in.IndexAmortized(path.order)) {
+    for (const Triple& t : in) emit(t);
+  } else if (b < 0) {
+    for (const Triple& t : in.Lookup(a, val[a])) emit(t);
+  } else {
+    // Two (or three) bound columns: probe the pair; a third constant is
+    // caught by the HoldsUnary re-verification.
+    for (const Triple& t : in.LookupPair(a, val[a], b, val[b])) emit(t);
+  }
+  return out;
+}
+
 std::vector<std::pair<ObjId, ObjId>> ProjectSO(const TripleSet& set) {
   std::vector<std::pair<ObjId, ObjId>> out;
   out.reserve(set.size());

@@ -1,111 +1,182 @@
 #include "core/fast_reach.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 namespace trial {
 namespace {
 
-// Reflexive-transitive reach sets from each source in `sources`, over the
-// adjacency relation adj (dense-compacted node ids).  Returns, per source,
-// the sorted list of reached nodes (including the source).
-std::vector<std::vector<uint32_t>> ReachSets(
-    const std::vector<std::vector<uint32_t>>& adj,
-    const std::vector<uint32_t>& sources) {
-  size_t n = adj.size();
-  std::vector<std::vector<uint32_t>> out(sources.size());
-  std::vector<uint32_t> mark(n, UINT32_MAX);
-  std::vector<uint32_t> stack;
-  for (size_t si = 0; si < sources.size(); ++si) {
-    uint32_t s = sources[si];
-    stack.assign(1, s);
-    mark[s] = static_cast<uint32_t>(si);
-    std::vector<uint32_t>& reach = out[si];
-    reach.push_back(s);
-    while (!stack.empty()) {
-      uint32_t u = stack.back();
-      stack.pop_back();
-      for (uint32_t v : adj[u]) {
-        if (mark[v] != si) {
-          mark[v] = static_cast<uint32_t>(si);
-          reach.push_back(v);
-          stack.push_back(v);
-        }
-      }
+// Both procedures run DFS over an adjacency relation read directly off
+// the base set's permutation indexes — no edge vectors are materialized:
+//
+//  * Procedure 3 (any path): out-neighbors of u are the objects of the
+//    contiguous SPO run with subject u; sources (every object position)
+//    are the distinct leading values of the OSP permutation.
+//  * Procedure 4 (same middle): within the POS group of one middle m,
+//    out-neighbors of u are base.LookupPair(s=u, p=m) — an SPO prefix
+//    probe; sources are the group's distinct (m, o) runs.
+
+constexpr uint32_t kUnset = UINT32_MAX;
+
+// The node universe of the projected graph: distinct subjects ∪ distinct
+// objects, read off the SPO and OSP orders as a sorted id list.  Dense
+// ids are positions in that list, so scratch arrays scale with the
+// *set's* node count, not the store-wide intern id space.  The id→dense
+// map is a direct-indexed vector when the raw id range is comparably
+// small (O(1) lookups), a binary search otherwise.
+class NodeMap {
+ public:
+  explicit NodeMap(const TripleSet& base) {
+    // Distinct subjects and objects are the leading runs of the SPO and
+    // OSP orders; the node list is their sorted union.
+    std::vector<ObjId> subjects, objects;
+    for (const Triple& t : base.Scan(IndexOrder::kSPO)) {
+      if (subjects.empty() || subjects.back() != t.s) subjects.push_back(t.s);
     }
-    std::sort(reach.begin(), reach.end());
+    for (const Triple& t : base.Scan(IndexOrder::kOSP)) {
+      if (objects.empty() || objects.back() != t.o) objects.push_back(t.o);
+    }
+    nodes_.reserve(subjects.size() + objects.size());
+    std::set_union(subjects.begin(), subjects.end(), objects.begin(),
+                   objects.end(), std::back_inserter(nodes_));
+    size_t bound = nodes_.empty() ? 0 : nodes_.back() + 1;
+    if (bound <= 4 * nodes_.size() + 1024) {
+      direct_.assign(bound, kUnset);
+      for (uint32_t i = 0; i < nodes_.size(); ++i) direct_[nodes_[i]] = i;
+    }
   }
-  return out;
-}
 
-// Dense-compacts the node ids appearing in `triples` (subjects/objects
-// only — the projected graph ignores middles).
-struct Compact {
-  std::unordered_map<ObjId, uint32_t> to_dense;
-  std::vector<ObjId> to_obj;
-
-  uint32_t Add(ObjId o) {
-    auto [it, inserted] = to_dense.emplace(o, to_obj.size());
-    if (inserted) to_obj.push_back(o);
-    return it->second;
+  uint32_t Dense(ObjId o) const {
+    if (!direct_.empty()) return direct_[o];
+    return static_cast<uint32_t>(
+        std::lower_bound(nodes_.begin(), nodes_.end(), o) - nodes_.begin());
   }
+  ObjId Raw(uint32_t dense) const { return nodes_[dense]; }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<ObjId> nodes_;      // sorted distinct subject/object ids
+  std::vector<uint32_t> direct_;  // empty: use binary search
 };
 
-TripleSet StarOverEdges(const std::vector<Triple>& triples) {
-  Compact ids;
-  std::vector<std::pair<uint32_t, uint32_t>> edges;
-  edges.reserve(triples.size());
-  for (const Triple& t : triples) {
-    edges.emplace_back(ids.Add(t.s), ids.Add(t.o));
-  }
-  size_t n = ids.to_obj.size();
-  std::vector<std::vector<uint32_t>> adj(n);
-  for (auto [u, v] : edges) adj[u].push_back(v);
+// Scratch arrays sized by the dense node count, reused across sources
+// (and, for Procedure 4, across middle groups) via generation stamps.
+struct ReachScratch {
+  explicit ReachScratch(size_t n)
+      : mark(n, kUnset), slot(n, 0), slot_gen(n, kUnset) {}
 
-  // Sources we need reach sets for: the object position of every triple.
-  std::vector<uint32_t> sources;
-  sources.reserve(n);
-  {
-    std::vector<bool> need(n, false);
-    for (auto [u, v] : edges) {
-      (void)u;
-      need[v] = true;
-    }
-    for (uint32_t i = 0; i < n; ++i) {
-      if (need[i]) sources.push_back(i);
-    }
-  }
-  std::vector<uint32_t> source_index(n, UINT32_MAX);
-  for (uint32_t i = 0; i < sources.size(); ++i) source_index[sources[i]] = i;
-
-  std::vector<std::vector<uint32_t>> reach = ReachSets(adj, sources);
-
-  TripleSet out;
-  for (const Triple& t : triples) {
-    uint32_t j = ids.to_dense.at(t.o);
-    const std::vector<uint32_t>& rs = reach[source_index[j]];
-    for (uint32_t l : rs) out.Insert(t.s, t.p, ids.to_obj[l]);
-  }
-  return out;
-}
+  std::vector<uint32_t> mark;      // stamped with a global source counter
+  std::vector<uint32_t> slot;      // dense node -> local reach-set slot
+  std::vector<uint32_t> slot_gen;  // generation guard for `slot`
+  std::vector<uint32_t> stack;     // dense DFS stack
+};
 
 }  // namespace
 
 TripleSet StarReachAnyPath(const TripleSet& base) {
-  return StarOverEdges(base.triples());
+  const std::vector<Triple>& spo = base.triples();
+  if (spo.empty()) return TripleSet();
+  NodeMap ids(base);
+
+  // Adjacency from the SPO index: per subject, its contiguous run.
+  std::vector<uint32_t> run_lo(ids.size(), 0), run_hi(ids.size(), 0);
+  for (size_t i = 0; i < spo.size();) {
+    size_t j = i;
+    while (j < spo.size() && spo[j].s == spo[i].s) ++j;
+    uint32_t u = ids.Dense(spo[i].s);
+    run_lo[u] = static_cast<uint32_t>(i);
+    run_hi[u] = static_cast<uint32_t>(j);
+    i = j;
+  }
+
+  ReachScratch scratch(ids.size());
+  std::vector<std::vector<ObjId>> reach;
+  // Sources: the distinct object values, off the OSP permutation.
+  for (const Triple& t : base.Scan(IndexOrder::kOSP)) {
+    uint32_t src = ids.Dense(t.o);
+    if (scratch.slot_gen[src] != kUnset) continue;  // seen this o already
+    uint32_t si = static_cast<uint32_t>(reach.size());
+    scratch.slot_gen[src] = 0;
+    scratch.slot[src] = si;
+    reach.emplace_back();
+    std::vector<ObjId>& rs = reach.back();
+    scratch.stack.assign(1, src);
+    scratch.mark[src] = si;
+    rs.push_back(t.o);
+    while (!scratch.stack.empty()) {
+      uint32_t u = scratch.stack.back();
+      scratch.stack.pop_back();
+      for (uint32_t e = run_lo[u]; e < run_hi[u]; ++e) {
+        uint32_t v = ids.Dense(spo[e].o);
+        if (scratch.mark[v] != si) {
+          scratch.mark[v] = si;
+          rs.push_back(spo[e].o);
+          scratch.stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  TripleSet out;
+  for (const Triple& t : spo) {
+    for (ObjId l : reach[scratch.slot[ids.Dense(t.o)]]) {
+      out.Insert(t.s, t.p, l);
+    }
+  }
+  return out;
 }
 
 TripleSet StarReachSameMiddle(const TripleSet& base) {
-  // Group triples by middle element; run Procedure 3 within each group.
-  std::unordered_map<ObjId, std::vector<Triple>> by_middle;
-  for (const Triple& t : base) by_middle[t.p].push_back(t);
+  TripleRange pos = base.Scan(IndexOrder::kPOS);  // sorted (p, o, s)
+  if (pos.empty()) return TripleSet();
+  NodeMap ids(base);
+  ReachScratch scratch(ids.size());
+  uint32_t next_si = 0;
+
   TripleSet out;
-  for (auto& [mid, group] : by_middle) {
-    (void)mid;
-    TripleSet part = StarOverEdges(group);
-    out = TripleSet::Union(out, part);
+  std::vector<std::vector<ObjId>> reach;
+  for (const Triple* gb = pos.begin(); gb != pos.end();) {
+    // One middle group [gb, ge); its generation is this group's first
+    // source stamp, so `slot` entries from earlier groups are ignored.
+    ObjId mid = gb->p;
+    const Triple* ge = gb;
+    while (ge != pos.end() && ge->p == mid) ++ge;
+    uint32_t group_gen = next_si;
+    reach.clear();
+    for (const Triple* t = gb; t != ge; ++t) {
+      uint32_t src = ids.Dense(t->o);
+      if (scratch.slot_gen[src] >= group_gen &&
+          scratch.slot_gen[src] != kUnset) {
+        continue;  // o already a source in this group
+      }
+      uint32_t si = next_si++;
+      scratch.slot_gen[src] = si;
+      scratch.slot[src] = static_cast<uint32_t>(reach.size());
+      reach.emplace_back();
+      std::vector<ObjId>& rs = reach.back();
+      scratch.stack.assign(1, src);
+      scratch.mark[src] = si;
+      rs.push_back(t->o);
+      while (!scratch.stack.empty()) {
+        ObjId u = ids.Raw(scratch.stack.back());
+        scratch.stack.pop_back();
+        for (const Triple& edge : base.LookupPair(0, u, 1, mid)) {
+          uint32_t v = ids.Dense(edge.o);
+          if (scratch.mark[v] != si) {
+            scratch.mark[v] = si;
+            rs.push_back(edge.o);
+            scratch.stack.push_back(v);
+          }
+        }
+      }
+    }
+    for (const Triple* t = gb; t != ge; ++t) {
+      for (ObjId l : reach[scratch.slot[ids.Dense(t->o)]]) {
+        out.Insert(t->s, mid, l);
+      }
+    }
+    gb = ge;
   }
   return out;
 }

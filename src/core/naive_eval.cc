@@ -5,6 +5,12 @@
 // O(|R1|·|R2|) per join, i.e. the O(|e|·|T|²) bound of Theorem 3.  Kleene
 // stars recompute the full join of the accumulated result with the base
 // each round (Procedure 2), giving the O(|e|·|T|³) bound.
+//
+// Selections route through the shared SelectIndexed helper (constant
+// pushdown over the permutation indexes); joins and stars stay pure
+// nested loops.  The matrix engine is the evaluator that touches no
+// index code at all, so it remains the fully independent oracle for the
+// equivalence property tests.
 
 #include "core/eval.h"
 
@@ -38,11 +44,7 @@ class NaiveEvaluator final : public Evaluator {
         return EvalUniverse(store);
       case ExprKind::kSelect: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet in, EvalNode(*e.left(), store));
-        TripleSet out;
-        for (const Triple& t : in) {
-          if (e.select_cond().HoldsUnary(t, store)) out.Insert(t);
-        }
-        return out;
+        return SelectIndexed(in, e.select_cond(), store);
       }
       case ExprKind::kUnion: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet a, EvalNode(*e.left(), store));

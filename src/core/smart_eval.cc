@@ -8,6 +8,7 @@
 // Proposition 5 reachability algorithms when the join spec is one of the
 // two reachTA= shapes.
 
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -125,6 +126,89 @@ struct JoinPlan {
   }
 };
 
+// Index-probe plan: when the cross condition has exact object-column
+// equalities, the build side of a join is consumed through its
+// permutation indexes (sorted range probes) instead of a per-call hash
+// table.  The permutation builds once — O(n log n), cached on the set
+// and shared with the store's relation — where the hash table below is
+// rebuilt from scratch on every call.  Up to two distinct build-side
+// columns are probed (any column pair is some permutation's sorted
+// prefix, see PlanAccess); further keys are re-verified per candidate.
+struct ProbePlan {
+  int n = 0;                               // probed columns: 0 (use hash), 1, 2
+  int build_col[2] = {0, 0};               // column on the indexed side
+  Pos probe_pos[2] = {Pos::P1, Pos::P1};   // value source on the probe side
+
+  /// `build_right`: the right join argument is the indexed side.
+  static ProbePlan Build(const JoinPlan& plan, bool build_right) {
+    int cols[3];
+    Pos pos[3];
+    int n = 0;
+    for (const JoinPlan::KeyComp& k : plan.key) {
+      if (k.data) continue;  // ρ-value keys hash; objects probe exactly
+      int bc = PosColumn(build_right ? k.rpos : k.lpos);
+      Pos pp = build_right ? k.lpos : k.rpos;
+      bool dup = false;
+      for (int i = 0; i < n; ++i) dup = dup || cols[i] == bc;
+      if (!dup && n < 3) {
+        cols[n] = bc;
+        pos[n] = pp;
+        ++n;
+      }
+    }
+    ProbePlan out;
+    if (n > 2) {
+      // All three columns keyed: a pair prefix is the best an index can
+      // serve.  Keep subject and predicate — that pair is an SPO prefix,
+      // so the probe needs no permutation build at all — and let the
+      // condition check cover the dropped object column (the (s,p)
+      // range is already at most a handful of triples).
+      int keep = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (cols[i] != 2) {
+          cols[keep] = cols[i];
+          pos[keep] = pos[i];
+          ++keep;
+        }
+      }
+      n = 2;
+    }
+    out.n = n;
+    for (int i = 0; i < n; ++i) {
+      out.build_col[i] = cols[i];
+      out.probe_pos[i] = pos[i];
+    }
+    return out;
+  }
+
+  /// The permutation this plan probes on the build side.
+  IndexOrder Order() const {
+    bool bind[3] = {false, false, false};
+    for (int i = 0; i < n; ++i) bind[build_col[i]] = true;
+    return PlanAccess(bind[0], bind[1], bind[2]).order;
+  }
+
+  /// Candidate range on the build side for probe-side triple `t`.
+  TripleRange Probe(const TripleSet& build, const Triple& t) const {
+    ObjId v0 = PosValue(t, t, probe_pos[0]);
+    if (n == 1) return build.Lookup(build_col[0], v0);
+    return build.LookupPair(build_col[0], v0, build_col[1],
+                            PosValue(t, t, probe_pos[1]));
+  }
+};
+
+// Access-path costing: a range probe costs ~log2(|build|) comparisons
+// per probe-side triple; a hash table costs ~|build| bucket inserts up
+// front but O(1) lookups.  Probing wins when the probe side is much
+// smaller than the build side (selective joins, late fixpoint deltas);
+// the 4x factor absorbs the constant gap between a bucket insert and a
+// binary-search step.
+bool PreferIndexProbe(size_t probe_count, size_t build_size) {
+  double lg = std::log2(static_cast<double>(build_size) + 2.0);
+  return static_cast<double>(probe_count) * lg <
+         4.0 * static_cast<double>(build_size);
+}
+
 using TripleHashSet = std::unordered_set<Triple, TripleHash>;
 using HashIndex = std::unordered_map<uint64_t, std::vector<Triple>>;
 
@@ -167,11 +251,7 @@ class SmartEvaluator final : public Evaluator {
       }
       case ExprKind::kSelect: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet in, EvalNode(*e.left(), store));
-        TripleSet out;
-        for (const Triple& t : in) {
-          if (e.select_cond().HoldsUnary(t, store)) out.Insert(t);
-        }
-        return out;
+        return SelectIndexed(in, e.select_cond(), store);
       }
       case ExprKind::kUnion: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet a, EvalNode(*e.left(), store));
@@ -202,21 +282,46 @@ class SmartEvaluator final : public Evaluator {
     return Status::Internal("unknown expression kind");
   }
 
-  // Hash join: filter both sides by their one-sided atoms, bucket the
-  // right side by the cross-equality key, probe with the left side and
-  // verify the full condition on each bucket candidate (covers hash
-  // collisions, data equalities and cross inequalities).
+  // Join: filter both sides by their one-sided atoms, locate candidate
+  // partners for each left triple — by permutation-index range probe
+  // when the key has exact object columns, by hashing the right side
+  // otherwise — and verify the full condition on each candidate (covers
+  // hash collisions, data equalities and cross inequalities).
   Result<TripleSet> HashJoin(const TripleSet& l, const TripleSet& r,
                              const JoinSpec& spec, const TripleStore& store) {
     JoinPlan plan = JoinPlan::Build(spec.cond);
+    TripleSet out;
+    size_t emitted = 0;
+    // Build the probe plan only when costing favors probing — planning
+    // a three-column key computes build-side stats, which would force
+    // the very index builds the hash path exists to avoid.  A one-shot
+    // join additionally requires the probed permutation to be free or
+    // amortized (store-backed build side): a fresh intermediate's cache
+    // dies with it, and a single probe pass never repays the sort.
+    ProbePlan probe;
+    if (PreferIndexProbe(l.size(), r.size())) {
+      probe = ProbePlan::Build(plan, /*build_right=*/true);
+      if (probe.n > 0 && !r.IndexAmortized(probe.Order())) probe.n = 0;
+    }
+    if (probe.n > 0) {
+      for (const Triple& a : l) {
+        if (!plan.PassesLeft(a, store)) continue;
+        for (const Triple& b : probe.Probe(r, a)) {
+          if (!spec.cond.Holds(a, b, store)) continue;
+          out.Insert(spec.Output(a, b));
+          if (++emitted > opts_.max_result_triples) {
+            return Status::ResourceExhausted("join result too large");
+          }
+        }
+      }
+      return out;
+    }
     HashIndex index;
     for (const Triple& b : r) {
       if (plan.PassesRight(b, store)) {
         index[plan.KeyHashRight(b, store)].push_back(b);
       }
     }
-    TripleSet out;
-    size_t emitted = 0;
     for (const Triple& a : l) {
       if (!plan.PassesLeft(a, store)) continue;
       auto it = index.find(plan.KeyHashLeft(a, store));
@@ -238,39 +343,64 @@ class SmartEvaluator final : public Evaluator {
   Result<TripleSet> SemiNaiveStar(const TripleSet& base, const JoinSpec& spec,
                                   bool right, const TripleStore& store) {
     JoinPlan plan = JoinPlan::Build(spec.cond);
-    // Index the fixed side once: for right stars the base is the right
-    // join argument; for left stars it is the left one.
+    // The fixed side — the right join argument for right stars, the
+    // left one for left stars — is probed every round.  With exact
+    // object keys its permutation index serves directly (built once,
+    // shared with the store's relation); the hash table is built lazily,
+    // only for rounds whose delta is too large for probing to pay off.
+    ProbePlan probe = ProbePlan::Build(plan, /*build_right=*/right);
     HashIndex index;
-    for (const Triple& b : base) {
-      bool pass = right ? plan.PassesRight(b, store)
-                        : plan.PassesLeft(b, store);
-      if (!pass) continue;
-      uint64_t h = right ? plan.KeyHashRight(b, store)
-                         : plan.KeyHashLeft(b, store);
-      index[h].push_back(b);
-    }
+    bool hash_built = false;
+    auto build_hash = [&] {
+      for (const Triple& b : base) {
+        bool pass = right ? plan.PassesRight(b, store)
+                          : plan.PassesLeft(b, store);
+        if (!pass) continue;
+        uint64_t h = right ? plan.KeyHashRight(b, store)
+                           : plan.KeyHashLeft(b, store);
+        index[h].push_back(b);
+      }
+      hash_built = true;
+    };
 
     TripleHashSet acc(base.begin(), base.end());
     std::vector<Triple> delta(base.begin(), base.end());
     std::vector<Triple> next;
+    // Joins one delta triple with one fixed-side candidate; returns
+    // false when the result-size guard trips.
+    auto consume = [&](const Triple& d, const Triple& b) {
+      const Triple& lt = right ? d : b;
+      const Triple& rt = right ? b : d;
+      if (!spec.cond.Holds(lt, rt, store)) return true;
+      Triple o = spec.Output(lt, rt);
+      if (acc.insert(o).second) {
+        next.push_back(o);
+        if (acc.size() > opts_.max_result_triples) return false;
+      }
+      return true;
+    };
     for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
       next.clear();
+      bool use_probe =
+          probe.n > 0 && PreferIndexProbe(delta.size(), base.size());
+      if (!use_probe && !hash_built) build_hash();
       for (const Triple& d : delta) {
         bool pass = right ? plan.PassesLeft(d, store)
                           : plan.PassesRight(d, store);
         if (!pass) continue;
-        uint64_t h = right ? plan.KeyHashLeft(d, store)
-                           : plan.KeyHashRight(d, store);
-        auto it = index.find(h);
-        if (it == index.end()) continue;
-        for (const Triple& b : it->second) {
-          const Triple& lt = right ? d : b;
-          const Triple& rt = right ? b : d;
-          if (!spec.cond.Holds(lt, rt, store)) continue;
-          Triple o = spec.Output(lt, rt);
-          if (acc.insert(o).second) {
-            next.push_back(o);
-            if (acc.size() > opts_.max_result_triples) {
+        if (use_probe) {
+          for (const Triple& b : probe.Probe(base, d)) {
+            if (!consume(d, b)) {
+              return Status::ResourceExhausted("star result too large");
+            }
+          }
+        } else {
+          uint64_t h = right ? plan.KeyHashLeft(d, store)
+                             : plan.KeyHashRight(d, store);
+          auto it = index.find(h);
+          if (it == index.end()) continue;
+          for (const Triple& b : it->second) {
+            if (!consume(d, b)) {
               return Status::ResourceExhausted("star result too large");
             }
           }

@@ -1,6 +1,7 @@
 #include "datalog/eval.h"
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/eval.h"
@@ -50,6 +51,7 @@ class RuleEvaluator {
         deferred_.push_back(&l);
       }
     }
+    OrderPositiveAtoms();
     Env env;
     return MatchPositive(0, &env);
   }
@@ -101,20 +103,114 @@ class RuleEvaluator {
     return true;
   }
 
+  // Expected number of matching triples for `atom` when the variables
+  // in `bound` (plus all constants) are fixed: the relation's size
+  // shrunk by each bound column's distinct-value count, i.e. the
+  // expected size of the index range the matcher will probe.
+  double EstimateAtomMatches(const Atom& atom,
+                             const std::set<std::string>& bound) const {
+    Status st = Status::OK();
+    const TripleSet* rel = RelationOf(atom.pred, &st);
+    if (rel == nullptr) return 0;
+    const TripleSetStats& stats = rel->Stats();
+    double est = static_cast<double>(stats.num_triples);
+    for (int i = 0; i < 3; ++i) {
+      const Term& t = atom.args[i];
+      bool is_bound = t.is_var ? bound.count(t.name) > 0 : true;
+      if (is_bound && stats.distinct[i] > 0) {
+        est /= static_cast<double>(stats.distinct[i]);
+      }
+    }
+    return est;
+  }
+
+  // Greedy static join order: repeatedly place the atom with the
+  // smallest expected index-range size given the variables bound by the
+  // atoms placed before it.  If any predicate cannot be resolved the
+  // original order is kept, so the unknown-predicate error surfaces (or
+  // stays hidden behind an empty earlier atom) exactly as it would for
+  // sequential matching.
+  void OrderPositiveAtoms() {
+    size_t n = positive_.size();
+    if (n < 2) return;
+    for (const Literal* l : positive_) {
+      Status st = Status::OK();
+      if (RelationOf(l->atom.pred, &st) == nullptr) return;
+    }
+    std::vector<const Literal*> ordered;
+    std::vector<bool> placed(n, false);
+    std::set<std::string> bound;
+    for (size_t step = 0; step < n; ++step) {
+      size_t best = n;
+      double best_cost = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        double cost = EstimateAtomMatches(positive_[i]->atom, bound);
+        if (best == n || cost < best_cost) {
+          best = i;
+          best_cost = cost;
+        }
+      }
+      placed[best] = true;
+      ordered.push_back(positive_[best]);
+      for (const Term& t : positive_[best]->atom.args) {
+        if (t.is_var) bound.insert(t.name);
+      }
+    }
+    positive_.swap(ordered);
+  }
+
   Status MatchPositive(size_t i, Env* env) {
     if (i == positive_.size()) return BindFree(env);
     const Atom& atom = positive_[i]->atom;
     Status st = Status::OK();
     const TripleSet* rel = RelationOf(atom.pred, &st);
     if (rel == nullptr) return st;
-    for (const Triple& t : *rel) {
-      size_t mark = env->Mark();
-      if (Unify(atom, t, env)) {
-        TRIAL_RETURN_IF_ERROR(MatchPositive(i + 1, env));
+    // Columns whose argument is already fixed (a constant, or a variable
+    // bound by an earlier atom) probe the relation's permutation indexes
+    // instead of scanning; Unify re-verifies every column.
+    int bcol[3];
+    ObjId bval[3];
+    int nb = 0;
+    for (int c = 0; c < 3; ++c) {
+      const Term& term = atom.args[c];
+      std::optional<ObjId> v;
+      if (term.is_var) {
+        v = env->Get(term.name);
+      } else {
+        ObjId id = store_.FindObject(term.name);
+        if (id == kInvalidIntern) return Status::OK();  // matches nothing
+        v = id;
       }
-      env->Rewind(mark);
+      if (v.has_value()) {
+        bcol[nb] = c;
+        bval[nb] = *v;
+        ++nb;
+      }
     }
-    return Status::OK();
+    auto match_range = [&](auto begin, auto end) -> Status {
+      for (auto it = begin; it != end; ++it) {
+        size_t mark = env->Mark();
+        if (Unify(atom, *it, env)) {
+          Status s = MatchPositive(i + 1, env);
+          if (!s.ok()) {
+            env->Rewind(mark);
+            return s;
+          }
+        }
+        env->Rewind(mark);
+      }
+      return Status::OK();
+    };
+    if (nb == 0) return match_range(rel->begin(), rel->end());
+    if (nb == 1) {
+      TripleRange r = rel->Lookup(bcol[0], bval[0]);
+      return match_range(r.begin(), r.end());
+    }
+    // Two or three bound: any pair is a permutation prefix; a third
+    // bound column is re-checked by Unify over the (small) range.
+    TripleRange r = rel->LookupPair(bcol[0], bval[0], bcol[1], bval[1]);
+    return match_range(r.begin(), r.end());
   }
 
   // Variables used in the head or in deferred literals but not bound by

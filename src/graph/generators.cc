@@ -1,6 +1,9 @@
 #include "graph/generators.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -10,6 +13,35 @@ namespace {
 std::string Name(const char* prefix, size_t i) {
   return std::string(prefix) + std::to_string(i);
 }
+
+// Inverse-CDF Zipf sampler over ranks [0, n): P(r) ∝ 1/(r+1)^exponent.
+// Exponent 0 degenerates to uniform; consumes exactly one Rng draw per
+// sample either way, so flipping skew on does not perturb the rest of a
+// seeded generation sequence.
+class RankSampler {
+ public:
+  RankSampler(size_t n, double exponent) : n_(n) {
+    if (exponent <= 0.0) return;
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+      cdf_.push_back(acc);
+    }
+  }
+
+  size_t Sample(Rng* rng) const {
+    if (cdf_.empty()) return rng->Below(n_);
+    double u = rng->Unit() * cdf_.back();
+    size_t r = static_cast<size_t>(
+        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return std::min(r, n_ - 1);
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> cdf_;  // empty = uniform
+};
 
 }  // namespace
 
@@ -26,12 +58,15 @@ TripleStore RandomTripleStore(const RandomStoreOptions& opts) {
     }
     ids.push_back(id);
   }
+  RankSampler pick_s(ids.size(), opts.zipf_s);
+  RankSampler pick_p(ids.size(), opts.zipf_p);
+  RankSampler pick_o(ids.size(), opts.zipf_o);
   for (size_t r = 0; r < opts.num_relations; ++r) {
     std::string rel = r == 0 ? "E" : Name("E", r);
     RelId rel_id = store.AddRelation(rel);
     for (size_t t = 0; t < opts.num_triples; ++t) {
-      store.Add(rel_id, ids[rng.Below(ids.size())], ids[rng.Below(ids.size())],
-                ids[rng.Below(ids.size())]);
+      store.Add(rel_id, ids[pick_s.Sample(&rng)], ids[pick_p.Sample(&rng)],
+                ids[pick_o.Sample(&rng)]);
     }
   }
   return store;

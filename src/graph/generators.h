@@ -22,9 +22,18 @@ struct RandomStoreOptions {
   size_t num_relations = 1;     ///< relations named "E", "E1", "E2", ...
   size_t num_data_values = 4;   ///< ρ drawn from this many distinct ints
   uint64_t seed = 1;
+  /// Zipf skew exponents per triple position (0 = uniform).  With
+  /// exponent a > 0, the object of rank r (0-based; "o0" is hottest) is
+  /// drawn with probability ∝ 1/(r+1)^a — SP²Bench-style skew, so a few
+  /// predicates/objects dominate and index selectivity varies sharply
+  /// across lookup keys.
+  double zipf_s = 0.0;
+  double zipf_p = 0.0;
+  double zipf_o = 0.0;
 };
 
-/// Uniform random triplestore; ρ assigns random small integers, so η
+/// Random triplestore (uniform, or Zipf-skewed per position when the
+/// zipf_* exponents are set); ρ assigns random small integers, so η
 /// conditions are selective but satisfiable.
 TripleStore RandomTripleStore(const RandomStoreOptions& opts);
 

@@ -1,0 +1,123 @@
+#include "storage/triple_index.h"
+
+#include <algorithm>
+
+namespace trial {
+namespace {
+
+// Key columns of each order, most significant first.
+constexpr int kOrderCols[3][3] = {
+    {0, 1, 2},  // SPO
+    {1, 2, 0},  // POS
+    {2, 0, 1},  // OSP
+};
+
+const int* Cols(IndexOrder order) {
+  return kOrderCols[static_cast<int>(order)];
+}
+
+}  // namespace
+
+int IndexColumn(IndexOrder order, int k) { return Cols(order)[k]; }
+
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSPO: return "SPO";
+    case IndexOrder::kPOS: return "POS";
+    case IndexOrder::kOSP: return "OSP";
+  }
+  return "?";
+}
+
+bool IndexLess(IndexOrder order, const Triple& a, const Triple& b) {
+  const int* c = Cols(order);
+  if (a[c[0]] != b[c[0]]) return a[c[0]] < b[c[0]];
+  if (a[c[1]] != b[c[1]]) return a[c[1]] < b[c[1]];
+  return a[c[2]] < b[c[2]];
+}
+
+AccessPath PlanAccess(bool bind_s, bool bind_p, bool bind_o) {
+  // Each order's prefix covers the bound set exactly when the bound
+  // columns are a prefix of its key; every single column and every pair
+  // is some order's prefix.
+  if (bind_s && bind_p) {
+    return {IndexOrder::kSPO, bind_o ? 3 : 2};
+  }
+  if (bind_p && bind_o) return {IndexOrder::kPOS, 2};
+  if (bind_o && bind_s) return {IndexOrder::kOSP, 2};
+  if (bind_s) return {IndexOrder::kSPO, 1};
+  if (bind_p) return {IndexOrder::kPOS, 1};
+  if (bind_o) return {IndexOrder::kOSP, 1};
+  return {IndexOrder::kSPO, 0};
+}
+
+const std::vector<Triple>& TripleIndexCache::Permutation(
+    const std::vector<Triple>& spo, IndexOrder order) {
+  if (order == IndexOrder::kPOS) {
+    if (!pos_built) {
+      pos = spo;
+      std::sort(pos.begin(), pos.end(), [](const Triple& a, const Triple& b) {
+        return IndexLess(IndexOrder::kPOS, a, b);
+      });
+      pos_built = true;
+    }
+    return pos;
+  }
+  if (!osp_built) {
+    osp = spo;
+    std::sort(osp.begin(), osp.end(), [](const Triple& a, const Triple& b) {
+      return IndexLess(IndexOrder::kOSP, a, b);
+    });
+    osp_built = true;
+  }
+  return osp;
+}
+
+const TripleSetStats& TripleIndexCache::Stats(const std::vector<Triple>& spo) {
+  if (stats_built) return stats;
+  auto count_distinct = [](const std::vector<Triple>& v, int col) {
+    size_t n = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i == 0 || v[i][col] != v[i - 1][col]) ++n;
+    }
+    return n;
+  };
+  stats.num_triples = spo.size();
+  stats.distinct[0] = count_distinct(spo, 0);
+  stats.distinct[1] = count_distinct(Permutation(spo, IndexOrder::kPOS), 1);
+  stats.distinct[2] = count_distinct(Permutation(spo, IndexOrder::kOSP), 2);
+  stats_built = true;
+  return stats;
+}
+
+TripleRange EqualRange(const std::vector<Triple>& sorted, IndexOrder order,
+                       ObjId v) {
+  const int lead = Cols(order)[0];
+  auto lo = std::lower_bound(
+      sorted.begin(), sorted.end(), v,
+      [lead](const Triple& t, ObjId x) { return t[lead] < x; });
+  auto hi = std::upper_bound(
+      lo, sorted.end(), v,
+      [lead](ObjId x, const Triple& t) { return x < t[lead]; });
+  return {sorted.data() + (lo - sorted.begin()),
+          sorted.data() + (hi - sorted.begin())};
+}
+
+TripleRange EqualRangePair(const std::vector<Triple>& sorted, IndexOrder order,
+                           ObjId lead, ObjId second) {
+  const int* c = Cols(order);
+  const int c0 = c[0], c1 = c[1];
+  auto key_less = [c0, c1](const Triple& t, std::pair<ObjId, ObjId> k) {
+    return t[c0] != k.first ? t[c0] < k.first : t[c1] < k.second;
+  };
+  auto key_greater = [c0, c1](std::pair<ObjId, ObjId> k, const Triple& t) {
+    return k.first != t[c0] ? k.first < t[c0] : k.second < t[c1];
+  };
+  std::pair<ObjId, ObjId> key{lead, second};
+  auto lo = std::lower_bound(sorted.begin(), sorted.end(), key, key_less);
+  auto hi = std::upper_bound(lo, sorted.end(), key, key_greater);
+  return {sorted.data() + (lo - sorted.begin()),
+          sorted.data() + (hi - sorted.begin())};
+}
+
+}  // namespace trial

@@ -1,0 +1,126 @@
+// Permutation indexes over a TripleSet (the RDF-store "SPO/POS/OSP"
+// design; see Ali et al., "A Survey of RDF Stores & SPARQL Engines").
+//
+// A TripleSet's canonical representation is a sorted, duplicate-free
+// (s, p, o) vector — that vector *is* the SPO index.  The two extra
+// permutations stored here, POS (sorted by p, o, s) and OSP (sorted by
+// o, s, p), are enough to make any single bound column, and any bound
+// pair of columns, a contiguous index range:
+//
+//   bound {s}         -> SPO prefix      bound {s, p} -> SPO prefix
+//   bound {p}         -> POS prefix      bound {p, o} -> POS prefix
+//   bound {o}         -> OSP prefix      bound {o, s} -> OSP prefix
+//
+// Permutations are built lazily on first lookup (O(n log n) copy+sort)
+// and cached.  The cache cell is *shared between copies* of a TripleSet:
+// evaluators routinely copy base relations out of the store, and sharing
+// means the first probe through any copy also warms the store's relation
+// for every later copy.  A mutation (Insert) detaches the mutated set
+// onto a fresh cell, leaving other sharers untouched.
+
+#ifndef TRIAL_STORAGE_TRIPLE_INDEX_H_
+#define TRIAL_STORAGE_TRIPLE_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/triple.h"
+
+namespace trial {
+
+/// The three maintained permutations.  The enumerator value is the index
+/// of the leading (most significant) column: 0 = s, 1 = p, 2 = o.
+enum class IndexOrder : uint8_t { kSPO = 0, kPOS = 1, kOSP = 2 };
+
+const char* IndexOrderName(IndexOrder order);
+
+/// The k-th (0-based, most significant first) key column of an order:
+/// IndexColumn(kPOS, 0) == 1 (p), IndexColumn(kPOS, 1) == 2 (o), ...
+int IndexColumn(IndexOrder order, int k);
+
+/// Comparator for `order`: SPO compares (s,p,o), POS (p,o,s), OSP (o,s,p).
+bool IndexLess(IndexOrder order, const Triple& a, const Triple& b);
+
+/// A contiguous range of triples inside one permutation.  Iteration
+/// yields full triples (the permutations store whole triples, not key
+/// projections).  Pointers stay valid until the owning set's next
+/// Insert, like TripleSet::triples().
+struct TripleRange {
+  const Triple* first = nullptr;
+  const Triple* last = nullptr;
+
+  const Triple* begin() const { return first; }
+  const Triple* end() const { return last; }
+  size_t size() const { return static_cast<size_t>(last - first); }
+  bool empty() const { return first == last; }
+};
+
+/// The planner hook: cheapest access path for a set of bound columns.
+/// `prefix` is how many of the bound columns the chosen order serves as
+/// its sorted prefix (0 when nothing is bound: full scan in SPO order).
+/// Any one or two bound columns are always fully covered; all three
+/// bound are served by SPO with prefix 3.
+struct AccessPath {
+  IndexOrder order = IndexOrder::kSPO;
+  int prefix = 0;
+};
+AccessPath PlanAccess(bool bind_s, bool bind_p, bool bind_o);
+
+/// Per-column statistics of a triple set, for costing access paths:
+/// expected matches of a single-column lookup on column c is
+/// num_triples / distinct[c].
+struct TripleSetStats {
+  size_t num_triples = 0;
+  size_t distinct[3] = {0, 0, 0};  // distinct s / p / o values
+
+  double ExpectedMatches(int column) const {
+    return distinct[column] == 0
+               ? 0.0
+               : static_cast<double>(num_triples) /
+                     static_cast<double>(distinct[column]);
+  }
+};
+
+/// The lazily-built part of a TripleSet's index: the POS and OSP
+/// permutations plus stats.  Owned via shared_ptr by every TripleSet
+/// copy with the same normalized contents; TripleSet is the only caller.
+struct TripleIndexCache {
+  std::vector<Triple> pos, osp;
+  bool pos_built = false;
+  bool osp_built = false;
+  TripleSetStats stats;
+  bool stats_built = false;
+
+  /// The permutation of `spo` for `order`, building it on first use
+  /// (`order` must be kPOS or kOSP; kSPO is the base vector itself).
+  const std::vector<Triple>& Permutation(const std::vector<Triple>& spo,
+                                         IndexOrder order);
+
+  bool Built(IndexOrder order) const {
+    switch (order) {
+      case IndexOrder::kSPO: return true;
+      case IndexOrder::kPOS: return pos_built;
+      case IndexOrder::kOSP: return osp_built;
+    }
+    return false;
+  }
+
+  /// Stats over `spo`; forces the POS and OSP builds (distinct-p and
+  /// distinct-o counts walk the respective permutations).
+  const TripleSetStats& Stats(const std::vector<Triple>& spo);
+};
+
+/// equal_range of triples whose `column` equals `v` inside the given
+/// permutation vector (which must be sorted for an order whose leading
+/// column is `column`).
+TripleRange EqualRange(const std::vector<Triple>& sorted, IndexOrder order,
+                       ObjId v);
+
+/// equal_range on the two leading columns of `order`.  `lead` and
+/// `second` are the values of the order's first and second key columns.
+TripleRange EqualRangePair(const std::vector<Triple>& sorted, IndexOrder order,
+                           ObjId lead, ObjId second);
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_TRIPLE_INDEX_H_

@@ -5,20 +5,77 @@
 namespace trial {
 
 TripleSet::TripleSet(std::vector<Triple> triples)
-    : staged_(std::move(triples)) {}
+    : staged_(std::move(triples)),
+      cache_(std::make_shared<TripleIndexCache>()) {}
 
 void TripleSet::Normalize() const {
   if (staged_.empty()) return;
+  // Sort only the staged batch and merge it into the already-sorted
+  // body: O(n + k log k) per batch instead of O((n+k) log (n+k)).
+  std::sort(staged_.begin(), staged_.end());
+  staged_.erase(std::unique(staged_.begin(), staged_.end()), staged_.end());
+  size_t mid = triples_.size();
   triples_.insert(triples_.end(), staged_.begin(), staged_.end());
   staged_.clear();
-  std::sort(triples_.begin(), triples_.end());
+  std::inplace_merge(triples_.begin(), triples_.begin() + mid,
+                     triples_.end());
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());
+  // The contents changed: detach onto a fresh cache cell rather than
+  // clearing the shared one, which other copies may still be using.
+  cache_ = std::make_shared<TripleIndexCache>();
 }
 
 bool TripleSet::Contains(const Triple& t) const {
   Normalize();
   return std::binary_search(triples_.begin(), triples_.end(), t);
+}
+
+const std::vector<Triple>& TripleSet::OrderVector(IndexOrder order) const {
+  Normalize();
+  if (order == IndexOrder::kSPO) return triples_;
+  if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
+  return cache_->Permutation(triples_, order);
+}
+
+TripleRange TripleSet::Lookup(int column, ObjId v) const {
+  AccessPath path = PlanAccess(column == 0, column == 1, column == 2);
+  return EqualRange(OrderVector(path.order), path.order, v);
+}
+
+TripleRange TripleSet::LookupPair(int col_a, ObjId va, int col_b,
+                                  ObjId vb) const {
+  if (col_a == col_b) {
+    return va == vb ? Lookup(col_a, va) : TripleRange{};
+  }
+  bool bind[3] = {false, false, false};
+  ObjId val[3] = {0, 0, 0};
+  bind[col_a] = true;
+  val[col_a] = va;
+  bind[col_b] = true;
+  val[col_b] = vb;
+  AccessPath path = PlanAccess(bind[0], bind[1], bind[2]);
+  return EqualRangePair(OrderVector(path.order), path.order,
+                        val[IndexColumn(path.order, 0)],
+                        val[IndexColumn(path.order, 1)]);
+}
+
+bool TripleSet::IndexAmortized(IndexOrder order) const {
+  if (order == IndexOrder::kSPO) return true;
+  Normalize();  // pending inserts would detach the cell on first read
+  if (cache_ == nullptr) return false;
+  return cache_->Built(order) || cache_.use_count() > 1;
+}
+
+TripleRange TripleSet::Scan(IndexOrder order) const {
+  const std::vector<Triple>& v = OrderVector(order);
+  return {v.data(), v.data() + v.size()};
+}
+
+const TripleSetStats& TripleSet::Stats() const {
+  Normalize();
+  if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
+  return cache_->Stats(triples_);
 }
 
 TripleSet TripleSet::Union(const TripleSet& a, const TripleSet& b) {

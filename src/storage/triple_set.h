@@ -1,24 +1,34 @@
 // TripleSet: a set of triples, the value produced and consumed by every
 // TriAL operator (the algebra is closed, Section 3).
 //
-// Representation: a sorted, duplicate-free vector in (s, p, o) order.
-// Insertion batches into a staging area and re-normalizes lazily, so bulk
-// loads and fixpoint iterations stay cheap.
+// Representation: a sorted, duplicate-free vector in (s, p, o) order —
+// which doubles as the SPO permutation index — plus lazily-built POS and
+// OSP permutations (see triple_index.h) behind the access-path API
+// below.  Insertion batches into a staging area and re-normalizes lazily
+// (sort the batch, inplace_merge into the sorted body), so bulk loads
+// and fixpoint iterations stay cheap.
+//
+// The permutation cache is shared between copies: copying a relation out
+// of a TripleStore shares the store's cache cell, so an index built
+// through any copy benefits every later copy of the same relation.
+// Mutating a copy detaches it onto a fresh cell.
 
 #ifndef TRIAL_STORAGE_TRIPLE_SET_H_
 #define TRIAL_STORAGE_TRIPLE_SET_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "storage/triple.h"
+#include "storage/triple_index.h"
 
 namespace trial {
 
 /// An immutable-after-Normalize sorted set of triples.
 class TripleSet {
  public:
-  TripleSet() = default;
+  TripleSet() : cache_(std::make_shared<TripleIndexCache>()) {}
   /// Takes any vector; sorts and dedups it.
   explicit TripleSet(std::vector<Triple> triples);
 
@@ -47,6 +57,41 @@ class TripleSet {
   std::vector<Triple>::const_iterator begin() const { return triples().begin(); }
   std::vector<Triple>::const_iterator end() const { return triples().end(); }
 
+  // ---- access paths (permutation indexes) -----------------------------
+  //
+  // All lookups return contiguous ranges over one of the three
+  // permutations (SPO / POS / OSP); ranges stay valid until the next
+  // Insert.  Columns are 0 = subject, 1 = predicate, 2 = object.
+
+  /// Triples whose `column` equals `v`, in the order chosen by
+  /// PlanAccess for that column.  O(log n) plus the range size; builds
+  /// the needed permutation on first use (O(n log n), cached).
+  TripleRange Lookup(int column, ObjId v) const;
+
+  /// Triples with `col_a` == `va` and `col_b` == `vb` (distinct
+  /// columns).  Every column pair is some permutation's sorted prefix.
+  TripleRange LookupPair(int col_a, ObjId va, int col_b, ObjId vb) const;
+
+  /// The full set in the given permutation order.
+  TripleRange Scan(IndexOrder order) const;
+
+  /// True when `order` can be probed without a build (already built, or
+  /// the SPO base).  Pending staged inserts make every order not-ready.
+  bool IndexReady(IndexOrder order) const {
+    return staged_.empty() && cache_ != nullptr && cache_->Built(order);
+  }
+
+  /// True when probing `order` is free or its build will be amortized:
+  /// the SPO base, an already-built permutation, or a cache cell shared
+  /// with another set (e.g. the store's relation, which every later
+  /// copy then probes for free).  A fresh intermediate result returns
+  /// false for POS/OSP — its cache dies with it, so a one-shot caller
+  /// is better off with a linear scan.
+  bool IndexAmortized(IndexOrder order) const;
+
+  /// Per-column stats for access-path costing.  Builds all permutations.
+  const TripleSetStats& Stats() const;
+
   /// Set union / difference / intersection (merge on sorted vectors).
   static TripleSet Union(const TripleSet& a, const TripleSet& b);
   static TripleSet Difference(const TripleSet& a, const TripleSet& b);
@@ -57,9 +102,14 @@ class TripleSet {
 
  private:
   void Normalize() const;
+  /// The permutation vector backing `order` (triples_ for SPO).
+  const std::vector<Triple>& OrderVector(IndexOrder order) const;
 
   mutable std::vector<Triple> triples_;  // sorted, unique
   mutable std::vector<Triple> staged_;   // pending inserts
+  // Shared with copies; detached (fresh cell) whenever triples_ changes.
+  // Never null except after being moved from; OrderVector/Stats re-create.
+  mutable std::shared_ptr<TripleIndexCache> cache_;
 };
 
 }  // namespace trial

@@ -82,6 +82,14 @@ class TripleStore {
   /// Total triple count over all relations (the "|T|" of the bounds).
   size_t TotalTriples() const;
 
+  /// Per-relation index statistics (triple count, distinct s/p/o) for
+  /// access-path costing.  Builds the relation's permutation indexes on
+  /// first use; cached until the relation is mutated.
+  /// Pre: id < NumRelations().
+  const TripleSetStats& RelationStats(RelId id) const {
+    return relations_[id].Stats();
+  }
+
   // ---- display --------------------------------------------------------
 
   /// "(s, p, o)" with object names.

@@ -134,6 +134,38 @@ TEST_P(EngineEquivalenceTest, OptimizerPreservesResults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceTest,
                          ::testing::Range<uint64_t>(1, 11));
 
+// Same master invariant on Zipf-skewed stores (SP²Bench-style skew), so
+// the index-routed paths of the smart engine see hot keys with wide
+// ranges next to cold keys with empty ones.
+TEST(EngineEquivalenceSkewed, AllEnginesAgreeOnZipfStores) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 501 + 3);
+    RandomStoreOptions opts;
+    opts.num_objects = 9;
+    opts.num_triples = 30;
+    opts.num_data_values = 3;
+    opts.zipf_p = 1.4;
+    opts.zipf_o = 0.9;
+    opts.seed = seed * 11 + 5;
+    TripleStore store = RandomTripleStore(opts);
+
+    auto naive = MakeNaiveEvaluator();
+    auto matrix = MakeMatrixEvaluator();
+    auto smart = MakeSmartEvaluator();
+    for (int i = 0; i < 8; ++i) {
+      ExprPtr e = RandomExpr(&rng, 3, /*allow_star=*/true);
+      auto rn = naive->Eval(e, store);
+      auto rm = matrix->Eval(e, store);
+      auto rs = smart->Eval(e, store);
+      ASSERT_TRUE(rn.ok()) << rn.status().ToString() << "\n" << e->ToString();
+      ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      EXPECT_EQ(*rn, *rm) << "naive vs matrix on " << e->ToString();
+      EXPECT_EQ(*rn, *rs) << "naive vs smart on " << e->ToString();
+    }
+  }
+}
+
 // Resource guards fire instead of looping or exhausting memory.
 TEST(EvalGuards, UniverseGuard) {
   RandomStoreOptions opts;
