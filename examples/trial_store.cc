@@ -1,0 +1,310 @@
+// trial_store: the end-to-end "real dataset in, answers out" tool —
+// bulk-load an N-Triples file into a triplestore, print store stats,
+// and optionally evaluate a TriAL expression against it.
+//
+//   $ ./examples/trial_store --gen=1000000 --zipf-p=1.2 /tmp/m.nt
+//   $ ./examples/trial_store --threads=4 --by-predicate /tmp/m.nt
+//   $ ./examples/trial_store /tmp/m.nt --query="(E JOIN[1,2,3'; 3=1'] E)"
+//
+// Options:
+//   --gen=N          first write a synthetic ~N-triple document to <file>
+//   --zipf-s/p/o=F   generator skew exponents (with --gen)
+//   --dirty=F        with --gen: fraction F each of literal-object,
+//                    blank-node and comment lines (real-dump shape)
+//   --threads=N      loader workers (default: hardware concurrency)
+//   --relation=NAME  target relation in single-relation mode (default E)
+//   --by-predicate   one relation per distinct predicate
+//   --strict         hard-error on literals/blank nodes (default: skip+count)
+//   --legacy         load via the legacy ParseNTriplesFile path instead
+//   --verify         load both ways, check name-level store equivalence
+//   --query=EXPR     evaluate a TriAL(*) expression, print the result
+//   --json=PATH      write a load-throughput JSON record
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/eval.h"
+#include "core/parser.h"
+#include "loader/bulk_load.h"
+#include "loader/ntriples_writer.h"
+#include "util/timer.h"
+
+using namespace trial;
+
+namespace {
+
+struct Args {
+  std::string file;
+  size_t gen = 0;
+  double zipf_s = 0, zipf_p = 0, zipf_o = 0;
+  double dirty = 0;
+  size_t threads = 0;
+  std::string relation = "E";
+  bool by_predicate = false;
+  bool strict = false;
+  bool legacy = false;
+  bool verify = false;
+  std::string query;
+  std::string json;
+};
+
+// Parses a nonnegative integer flag value; returns false (with a
+// message) on junk like --threads=-1 or --gen=1e6.
+bool ParseCount(const char* flag, const char* v, size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long n = std::strtoll(v, &end, 10);
+  if (n < 0 || errno == ERANGE || *v == '\0' || end == nullptr ||
+      *end != '\0') {
+    std::fprintf(stderr, "%s wants a nonnegative integer, got \"%s\"\n",
+                 flag, v);
+    return false;
+  }
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--gen=")) {
+      if (!ParseCount("--gen", v, &a->gen)) return false;
+    } else if (const char* v = value("--zipf-s=")) {
+      a->zipf_s = std::atof(v);
+    } else if (const char* v = value("--zipf-p=")) {
+      a->zipf_p = std::atof(v);
+    } else if (const char* v = value("--zipf-o=")) {
+      a->zipf_o = std::atof(v);
+    } else if (const char* v = value("--dirty=")) {
+      a->dirty = std::atof(v);
+    } else if (const char* v = value("--threads=")) {
+      if (!ParseCount("--threads", v, &a->threads)) return false;
+    } else if (const char* v = value("--relation=")) {
+      a->relation = v;
+    } else if (arg == "--by-predicate") {
+      a->by_predicate = true;
+    } else if (arg == "--strict") {
+      a->strict = true;
+    } else if (arg == "--legacy") {
+      a->legacy = true;
+    } else if (arg == "--verify") {
+      a->verify = true;
+    } else if (const char* v = value("--query=")) {
+      a->query = v;
+    } else if (const char* v = value("--json=")) {
+      a->json = v;
+    } else if (arg.compare(0, 2, "--") == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else if (a->file.empty()) {
+      a->file = arg;
+    } else {
+      std::fprintf(stderr, "more than one input file\n");
+      return false;
+    }
+  }
+  if (a->file.empty()) {
+    std::fprintf(stderr,
+                 "usage: trial_store [options] <file.nt>   (see source "
+                 "header for options)\n");
+    return false;
+  }
+  return true;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const Args& args, const BulkLoadStats& stats) {
+  std::FILE* f = std::fopen(args.json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.json.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"tool\": \"trial_store\",\n"
+               "  \"file\": \"%s\",\n"
+               "  \"bytes\": %zu,\n"
+               "  \"lines\": %zu,\n"
+               "  \"triples_parsed\": %zu,\n"
+               "  \"skipped_literals\": %zu,\n"
+               "  \"skipped_blanks\": %zu,\n"
+               "  \"triples_loaded\": %zu,\n"
+               "  \"objects\": %zu,\n"
+               "  \"relations\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"chunks\": %zu,\n"
+               "  \"read_seconds\": %.4f,\n"
+               "  \"parse_seconds\": %.4f,\n"
+               "  \"merge_seconds\": %.4f,\n"
+               "  \"total_seconds\": %.4f,\n"
+               "  \"triples_per_second\": %.0f,\n"
+               "  \"mb_per_second\": %.1f\n"
+               "}\n",
+               EscapeJson(args.file).c_str(), stats.bytes, stats.parse.lines,
+               stats.parse.triples, stats.parse.skipped_literals,
+               stats.parse.skipped_blanks, stats.triples_loaded,
+               stats.objects, stats.relations, stats.threads, stats.chunks,
+               stats.read_seconds, stats.parse_seconds, stats.merge_seconds,
+               stats.total_seconds, stats.TriplesPerSecond(),
+               stats.total_seconds > 0
+                   ? static_cast<double>(stats.bytes) / 1e6 /
+                         stats.total_seconds
+                   : 0);
+  std::fclose(f);
+  std::printf("wrote %s\n", args.json.c_str());
+}
+
+int RunQuery(const TripleStore& store, const std::string& query) {
+  auto expr = ParseTriAL(query, &store);
+  if (!expr.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 expr.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = MakeSmartEvaluator();
+  Timer t;
+  auto result = engine->Eval(*expr, store);
+  double secs = t.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nquery:    %s\n", (*expr)->ToString().c_str());
+  std::printf("result:   %zu triples in %.3fs\n", result->size(), secs);
+  size_t shown = 0;
+  for (const Triple& triple : *result) {
+    if (++shown > 10) {
+      std::printf("  ... (%zu more)\n", result->size() - 10);
+      break;
+    }
+    std::printf("  %s\n", store.TripleToString(triple).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  if (args.gen > 0) {
+    SyntheticNTriplesOptions gen;
+    gen.num_triples = args.gen;
+    gen.zipf_s = args.zipf_s;
+    gen.zipf_p = args.zipf_p;
+    gen.zipf_o = args.zipf_o;
+    gen.literal_fraction = args.dirty;
+    gen.blank_fraction = args.dirty;
+    gen.comment_fraction = args.dirty;
+    Timer t;
+    Status st = WriteSyntheticNTriples(args.file, gen);
+    if (!st.ok()) {
+      std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("generated %s: %zu triples in %.2fs\n", args.file.c_str(),
+                args.gen, t.Seconds());
+  }
+
+  BulkLoadOptions opts;
+  opts.num_threads = args.threads;
+  opts.relation = args.relation;
+  opts.relation_per_predicate = args.by_predicate;
+  opts.parse.accept_unsupported = !args.strict;
+
+  BulkLoadStats stats;
+  Result<TripleStore> loaded = Status::Internal("unset");
+  if (args.legacy) {
+    Timer t;
+    loaded = LegacyLoadNTriplesFile(args.file, opts, &stats.parse);
+    stats.total_seconds = t.Seconds();
+    if (loaded.ok()) {
+      stats.threads = 1;
+      stats.triples_loaded = loaded->TotalTriples();
+      stats.objects = loaded->NumObjects();
+      stats.relations = loaded->NumRelations();
+      if (std::FILE* f = std::fopen(args.file.c_str(), "rb")) {
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        if (size > 0) stats.bytes = static_cast<size_t>(size);
+        std::fclose(f);
+      }
+    }
+  } else {
+    loaded = BulkLoadNTriplesFile(args.file, opts, &stats);
+  }
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  TripleStore& store = *loaded;
+
+  std::printf("loaded %s (%s path)\n", args.file.c_str(),
+              args.legacy ? "legacy" : "bulk");
+  std::printf("  lines      %zu  (skipped: %zu literal, %zu blank)\n",
+              stats.parse.lines, stats.parse.skipped_literals,
+              stats.parse.skipped_blanks);
+  std::printf("  triples    %zu parsed, %zu loaded\n", stats.parse.triples,
+              stats.triples_loaded);
+  std::printf("  objects    %zu\n", stats.objects);
+  std::printf("  relations  %zu\n", stats.relations);
+  if (store.NumRelations() > 1 && store.NumRelations() <= 20) {
+    for (RelId r = 0; r < store.NumRelations(); ++r) {
+      std::printf("    %-40s %zu\n",
+                  std::string(store.RelationName(r)).c_str(),
+                  store.Relation(r).size());
+    }
+  }
+  std::printf(
+      "  timing     read %.3fs, parse %.3fs, merge %.3fs, total %.3fs "
+      "(%zu threads, %zu chunks)\n",
+      stats.read_seconds, stats.parse_seconds, stats.merge_seconds,
+      stats.total_seconds, stats.threads, stats.chunks);
+  std::printf("  throughput %.0f triples/s, %.1f MB/s\n",
+              stats.TriplesPerSecond(),
+              stats.total_seconds > 0 ? static_cast<double>(stats.bytes) /
+                                            1e6 / stats.total_seconds
+                                      : 0);
+
+  if (args.verify) {
+    // Cross-check against the *other* load path, so --legacy --verify
+    // still exercises the bulk pipeline.
+    auto other = args.legacy ? BulkLoadNTriplesFile(args.file, opts, nullptr)
+                             : LegacyLoadNTriplesFile(args.file, opts,
+                                                      nullptr);
+    if (!other.ok()) {
+      std::fprintf(stderr, "verify (%s load): %s\n",
+                   args.legacy ? "bulk" : "legacy",
+                   other.status().ToString().c_str());
+      return 1;
+    }
+    std::string diff;
+    if (!StoresEquivalent(store, *other, &diff)) {
+      std::fprintf(stderr, "verify: stores DIFFER: %s\n", diff.c_str());
+      return 1;
+    }
+    std::printf("verify: bulk and legacy stores are equivalent "
+                "(objects, relations, rho)\n");
+  }
+
+  if (!args.json.empty()) WriteJson(args, stats);
+  if (!args.query.empty()) return RunQuery(store, args.query);
+  return 0;
+}

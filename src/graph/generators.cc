@@ -14,36 +14,25 @@ std::string Name(const char* prefix, size_t i) {
   return std::string(prefix) + std::to_string(i);
 }
 
-// Inverse-CDF Zipf sampler over ranks [0, n): P(r) ∝ 1/(r+1)^exponent.
-// Exponent 0 degenerates to uniform; consumes exactly one Rng draw per
-// sample either way, so flipping skew on does not perturb the rest of a
-// seeded generation sequence.
-class RankSampler {
- public:
-  RankSampler(size_t n, double exponent) : n_(n) {
-    if (exponent <= 0.0) return;
-    cdf_.reserve(n);
-    double acc = 0.0;
-    for (size_t r = 0; r < n; ++r) {
-      acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
-      cdf_.push_back(acc);
-    }
-  }
-
-  size_t Sample(Rng* rng) const {
-    if (cdf_.empty()) return rng->Below(n_);
-    double u = rng->Unit() * cdf_.back();
-    size_t r = static_cast<size_t>(
-        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
-    return std::min(r, n_ - 1);
-  }
-
- private:
-  size_t n_;
-  std::vector<double> cdf_;  // empty = uniform
-};
-
 }  // namespace
+
+ZipfRankSampler::ZipfRankSampler(size_t n, double exponent) : n_(n) {
+  if (exponent <= 0.0) return;
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_.push_back(acc);
+  }
+}
+
+size_t ZipfRankSampler::Sample(Rng* rng) const {
+  if (cdf_.empty()) return rng->Below(n_);
+  double u = rng->Unit() * cdf_.back();
+  size_t r = static_cast<size_t>(
+      std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  return std::min(r, n_ - 1);
+}
 
 TripleStore RandomTripleStore(const RandomStoreOptions& opts) {
   Rng rng(opts.seed);
@@ -58,9 +47,9 @@ TripleStore RandomTripleStore(const RandomStoreOptions& opts) {
     }
     ids.push_back(id);
   }
-  RankSampler pick_s(ids.size(), opts.zipf_s);
-  RankSampler pick_p(ids.size(), opts.zipf_p);
-  RankSampler pick_o(ids.size(), opts.zipf_o);
+  ZipfRankSampler pick_s(ids.size(), opts.zipf_s);
+  ZipfRankSampler pick_p(ids.size(), opts.zipf_p);
+  ZipfRankSampler pick_o(ids.size(), opts.zipf_o);
   for (size_t r = 0; r < opts.num_relations; ++r) {
     std::string rel = r == 0 ? "E" : Name("E", r);
     RelId rel_id = store.AddRelation(rel);

@@ -9,11 +9,29 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 #include "storage/triple_store.h"
+#include "util/rng.h"
 
 namespace trial {
+
+/// Inverse-CDF Zipf sampler over ranks [0, n): P(r) ∝ 1/(r+1)^exponent.
+/// Exponent 0 degenerates to uniform; consumes exactly one Rng draw per
+/// sample either way, so flipping skew on does not perturb the rest of
+/// a seeded generation sequence.  Shared by RandomTripleStore and the
+/// synthetic N-Triples dataset writer (loader/ntriples_writer.h).
+class ZipfRankSampler {
+ public:
+  ZipfRankSampler(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+
+ private:
+  size_t n_;
+  std::vector<double> cdf_;  // empty = uniform
+};
 
 /// Options for RandomTripleStore.
 struct RandomStoreOptions {

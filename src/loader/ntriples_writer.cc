@@ -1,0 +1,128 @@
+#include "loader/ntriples_writer.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "rdf/ntriples.h"
+#include "util/rng.h"
+
+namespace trial {
+namespace {
+
+// Builds the term vocabulary for one position, pre-escaped and
+// angle-bracketed so the emit loop is a plain append per term.  With
+// escaped_iris, a sprinkling of names contains characters that force
+// the serializer's \-escapes (and the parser's slow path).
+std::vector<std::string> MakeVocabulary(const std::string& base,
+                                        const char* stem, size_t n,
+                                        bool escaped_iris) {
+  std::vector<std::string> terms;
+  terms.reserve(n);
+  std::string name;
+  for (size_t i = 0; i < n; ++i) {
+    name = base;
+    name += stem;
+    if (escaped_iris && i % 97 == 3) name += "weird>\\\t";
+    name += std::to_string(i);
+    std::string escaped;
+    AppendIriTerm(name, &escaped);
+    terms.push_back(std::move(escaped));
+  }
+  return terms;
+}
+
+// Generates the document into an internal buffer, handing it to `flush`
+// in ~1 MiB pieces so file writes never hold the whole document.
+void Generate(const SyntheticNTriplesOptions& opts,
+              const std::function<void(std::string_view)>& flush) {
+  constexpr size_t kFlushBytes = 1u << 20;
+  size_t n_s = opts.num_subjects > 0 ? opts.num_subjects
+                                     : opts.num_triples / 8 + 4;
+  size_t n_p = opts.num_predicates > 0 ? opts.num_predicates
+                                       : opts.num_triples / 64 + 4;
+  size_t n_o = opts.num_objects > 0 ? opts.num_objects
+                                    : opts.num_triples / 8 + 4;
+  std::vector<std::string> subjects =
+      MakeVocabulary(opts.base, "s", n_s, opts.escaped_iris);
+  std::vector<std::string> predicates =
+      MakeVocabulary(opts.base, "p", n_p, /*escaped_iris=*/false);
+  std::vector<std::string> objects =
+      MakeVocabulary(opts.base, "o", n_o, opts.escaped_iris);
+  ZipfRankSampler pick_s(n_s, opts.zipf_s);
+  ZipfRankSampler pick_p(n_p, opts.zipf_p);
+  ZipfRankSampler pick_o(n_o, opts.zipf_o);
+
+  Rng rng(opts.seed);
+  std::string buf;
+  buf.reserve(kFlushBytes + 512);
+  for (size_t i = 0; i < opts.num_triples; ++i) {
+    if (opts.comment_fraction > 0 && rng.Unit() < opts.comment_fraction) {
+      buf += "# synthetic filler line ";
+      buf += std::to_string(i);
+      buf += "\n";
+    }
+    if (opts.blank_fraction > 0 && rng.Unit() < opts.blank_fraction) {
+      buf += "_:b";
+      buf += std::to_string(i);
+      buf += " ";
+      buf += predicates[pick_p.Sample(&rng)];
+      buf += " ";
+      buf += objects[pick_o.Sample(&rng)];
+      buf += " .\n";
+    }
+    if (opts.literal_fraction > 0 && rng.Unit() < opts.literal_fraction) {
+      buf += subjects[pick_s.Sample(&rng)];
+      buf += " ";
+      buf += predicates[pick_p.Sample(&rng)];
+      buf += " \"literal value ";
+      buf += std::to_string(i);
+      buf += "\"^^<http://www.w3.org/2001/XMLSchema#string> .\n";
+    }
+    buf += subjects[pick_s.Sample(&rng)];
+    buf += " ";
+    buf += predicates[pick_p.Sample(&rng)];
+    buf += " ";
+    bool link = rng.Unit() < opts.object_link_fraction;
+    buf += link ? subjects[pick_s.Sample(&rng)] : objects[pick_o.Sample(&rng)];
+    buf += " .\n";
+    if (buf.size() >= kFlushBytes) {
+      flush(buf);
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) flush(buf);
+}
+
+}  // namespace
+
+void AppendSyntheticNTriples(const SyntheticNTriplesOptions& opts,
+                             std::string* out) {
+  Generate(opts, [out](std::string_view piece) { out->append(piece); });
+}
+
+std::string SyntheticNTriples(const SyntheticNTriplesOptions& opts) {
+  std::string out;
+  AppendSyntheticNTriples(opts, &out);
+  return out;
+}
+
+Status WriteSyntheticNTriples(const std::string& path,
+                              const SyntheticNTriplesOptions& opts) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  bool write_failed = false;
+  Generate(opts, [f, &write_failed](std::string_view piece) {
+    if (std::fwrite(piece.data(), 1, piece.size(), f) != piece.size()) {
+      write_failed = true;
+    }
+  });
+  if (std::fclose(f) != 0 || write_failed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace trial

@@ -1,0 +1,64 @@
+// Synthetic N-Triples dataset writer (SP²Bench-flavored): generates
+// multi-million-triple documents on demand so benches, tests and CI can
+// exercise the bulk loader without shipping datasets in the repo.
+//
+// The value distributions reuse the SP²Bench-style Zipf knobs of the
+// in-memory generators (graph/generators.h): per-position skew
+// exponents make a few subjects/predicates/objects dominate, the way
+// real RDF dumps do.  Optional fractions of literal-object lines,
+// blank-node lines and comments produce the "real-world dump" shape
+// that exercises ParseOptions::accept_unsupported.
+
+#ifndef TRIAL_LOADER_NTRIPLES_WRITER_H_
+#define TRIAL_LOADER_NTRIPLES_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace trial {
+
+/// Knobs for one synthetic document.
+struct SyntheticNTriplesOptions {
+  size_t num_triples = 1000;  ///< resource-triple lines (extras on top)
+  size_t num_subjects = 0;    ///< 0: num_triples / 8 + 4
+  size_t num_predicates = 0;  ///< 0: num_triples / 64 + 4
+  size_t num_objects = 0;     ///< 0: num_triples / 8 + 4
+  /// Zipf skew exponents per position (0 = uniform), as in
+  /// RandomStoreOptions: rank r is drawn with probability ∝ 1/(r+1)^a.
+  double zipf_s = 0.0;
+  double zipf_p = 0.0;
+  double zipf_o = 0.0;
+  /// Fraction of triples whose object is drawn from the *subject*
+  /// vocabulary instead, so the document has graph structure (objects
+  /// of some triples are subjects of others) and joins/reachability
+  /// over it are non-trivial.
+  double object_link_fraction = 0.25;
+  /// Extra-line fractions (relative to num_triples): literal-object
+  /// lines, blank-node-subject lines, comment lines.
+  double literal_fraction = 0.0;
+  double blank_fraction = 0.0;
+  double comment_fraction = 0.0;
+  /// Sprinkle IRIs that need \-escaping (round-trip coverage).
+  bool escaped_iris = false;
+  std::string base = "http://db.example.org/";
+  uint64_t seed = 1;
+};
+
+/// Appends the document to *out.  Deterministic in the options.
+void AppendSyntheticNTriples(const SyntheticNTriplesOptions& opts,
+                             std::string* out);
+
+/// The document as a string.
+std::string SyntheticNTriples(const SyntheticNTriplesOptions& opts);
+
+/// Writes the document to `path` (streamed; the whole document is never
+/// held in memory).  Errors with kNotFound when the file cannot be
+/// opened.
+Status WriteSyntheticNTriples(const std::string& path,
+                              const SyntheticNTriplesOptions& opts);
+
+}  // namespace trial
+
+#endif  // TRIAL_LOADER_NTRIPLES_WRITER_H_

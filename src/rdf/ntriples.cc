@@ -10,51 +10,63 @@ Status ErrAt(size_t line, const std::string& msg) {
   return Status::InvalidArgument("line " + std::to_string(line) + ": " + msg);
 }
 
-// Parses one term starting at text[i]; advances i past the term.
+// Classification of the term starting at text[i].
+enum class TermKind { kResource, kLiteral, kBlank };
+
+// Parses one term starting at text[i]; advances i past the term.  The
+// result view points into `text` when the term needed no unescaping,
+// otherwise into *scratch (clobbered).
 Status ParseTerm(std::string_view text, size_t line, size_t* i,
-                 std::string* out) {
-  out->clear();
+                 std::string* scratch, std::string_view* out) {
   size_t n = text.size();
   if (*i >= n) return ErrAt(line, "expected term, found end of line");
-  if (text[*i] == '"') {
-    return ErrAt(line, "literals are not part of ground RDF documents");
-  }
-  if (text.substr(*i, 2) == "_:") {
-    return ErrAt(line, "blank nodes are not part of ground RDF documents");
-  }
   if (text[*i] == '<') {
     ++*i;
+    size_t start = *i;
+    // Fast path: scan for '>' with no escapes — the term is a direct
+    // view into the input.
+    while (*i < n && text[*i] != '>' && text[*i] != '\\') ++*i;
+    if (*i < n && text[*i] == '>') {
+      *out = text.substr(start, *i - start);
+      ++*i;  // consume '>'
+      if (out->empty()) return ErrAt(line, "empty IRI");
+      return Status::OK();
+    }
+    // Slow path: escapes present; unescape into the scratch buffer.
+    scratch->assign(text.substr(start, *i - start));
     while (*i < n && text[*i] != '>') {
       char c = text[*i];
       if (c == '\\') {
         ++*i;
         if (*i >= n) return ErrAt(line, "dangling escape in IRI");
         switch (text[*i]) {
-          case 't': out->push_back('\t'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case '\\': out->push_back('\\'); break;
-          case '>': out->push_back('>'); break;
+          case 't': scratch->push_back('\t'); break;
+          case 'n': scratch->push_back('\n'); break;
+          case 'r': scratch->push_back('\r'); break;
+          case '\\': scratch->push_back('\\'); break;
+          case '>': scratch->push_back('>'); break;
           default:
             return ErrAt(line, std::string("unknown escape \\") + text[*i]);
         }
       } else {
-        out->push_back(c);
+        scratch->push_back(c);
       }
       ++*i;
     }
     if (*i >= n) return ErrAt(line, "unterminated IRI");
     ++*i;  // consume '>'
-    if (out->empty()) return ErrAt(line, "empty IRI");
+    if (scratch->empty()) return ErrAt(line, "empty IRI");
+    *out = *scratch;
     return Status::OK();
   }
-  // Bare token.
+  // Bare token — always a direct view.
+  size_t start = *i;
   while (*i < n) {
     char c = text[*i];
     if (c == ' ' || c == '\t' || c == '.' || c == '<' || c == '"') break;
-    out->push_back(c);
     ++*i;
   }
+  *out = text.substr(start, *i - start);
   if (out->empty()) return ErrAt(line, "expected term");
   return Status::OK();
 }
@@ -63,29 +75,64 @@ void SkipWs(std::string_view text, size_t* i) {
   while (*i < text.size() && (text[*i] == ' ' || text[*i] == '\t')) ++*i;
 }
 
+// Looks ahead at the term starting at text[i] without consuming it.
+TermKind ClassifyTerm(std::string_view text, size_t i) {
+  if (i < text.size() && text[i] == '"') return TermKind::kLiteral;
+  if (text.substr(i, 2) == "_:") return TermKind::kBlank;
+  return TermKind::kResource;
+}
+
 }  // namespace
 
-Result<RdfGraph> ParseNTriples(std::string_view text) {
-  RdfGraph g;
-  size_t pos = 0, line_no = 0;
-  while (pos <= text.size()) {
+Status ParseNTriplesChunk(std::string_view text, const ParseOptions& opts,
+                          size_t first_line, const NTripleSink& sink,
+                          ParseStats* stats) {
+  size_t pos = 0, line_no = first_line > 0 ? first_line - 1 : 0;
+  // One scratch buffer per term position: the three views handed to the
+  // sink must be able to coexist.
+  std::string scratch[3];
+  std::string_view term[3];
+  // pos < size (not <=): a trailing '\n' does not open a phantom empty
+  // line, so line tallies are identical whether a document is scanned
+  // as one chunk or many.
+  while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
     std::string_view line = text.substr(
         pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
     ++line_no;
+    if (stats != nullptr) ++stats->lines;
     pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
 
     size_t i = 0;
     SkipWs(line, &i);
     if (i >= line.size() || line[i] == '#' || line[i] == '\r') continue;
 
-    std::string s, p, o;
-    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &s));
-    SkipWs(line, &i);
-    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &p));
-    SkipWs(line, &i);
-    TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &o));
-    SkipWs(line, &i);
+    bool skip_line = false;
+    for (int k = 0; k < 3 && !skip_line; ++k) {
+      TermKind kind = ClassifyTerm(line, i);
+      if (kind != TermKind::kResource) {
+        if (!opts.accept_unsupported) {
+          return ErrAt(line_no,
+                       kind == TermKind::kLiteral
+                           ? "literals are not part of ground RDF documents"
+                           : "blank nodes are not part of ground RDF "
+                             "documents");
+        }
+        if (stats != nullptr) {
+          if (kind == TermKind::kLiteral) {
+            ++stats->skipped_literals;
+          } else {
+            ++stats->skipped_blanks;
+          }
+        }
+        skip_line = true;
+        break;
+      }
+      TRIAL_RETURN_IF_ERROR(ParseTerm(line, line_no, &i, &scratch[k],
+                                      &term[k]));
+      SkipWs(line, &i);
+    }
+    if (skip_line) continue;
     if (i >= line.size() || line[i] != '.') {
       return ErrAt(line_no, "expected terminating '.'");
     }
@@ -94,49 +141,96 @@ Result<RdfGraph> ParseNTriples(std::string_view text) {
     if (i < line.size() && line[i] != '\r' && line[i] != '#') {
       return ErrAt(line_no, "trailing content after '.'");
     }
-    g.Add(s, p, o);
+    if (stats != nullptr) ++stats->triples;
+    sink(term[0], term[1], term[2]);
   }
+  return Status::OK();
+}
+
+Result<RdfGraph> ParseNTriples(std::string_view text) {
+  return ParseNTriples(text, ParseOptions{}, nullptr);
+}
+
+Result<RdfGraph> ParseNTriples(std::string_view text,
+                               const ParseOptions& opts, ParseStats* stats) {
+  RdfGraph g;
+  TRIAL_RETURN_IF_ERROR(ParseNTriplesChunk(
+      text, opts, /*first_line=*/1,
+      [&g](std::string_view s, std::string_view p, std::string_view o) {
+        g.Add(s, p, o);
+      },
+      stats));
   return g;
 }
 
-Result<RdfGraph> ParseNTriplesFile(const std::string& path) {
+Result<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open " + path);
   std::string content;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size > 0) content.reserve(static_cast<size_t>(size));
   char buf[1 << 16];
   size_t got;
   while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
     content.append(buf, got);
   }
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  return ParseNTriples(content);
+  if (read_error) return Status::Internal("read error on " + path);
+  return content;
+}
+
+Result<RdfGraph> ParseNTriplesFile(const std::string& path) {
+  return ParseNTriplesFile(path, ParseOptions{}, nullptr);
+}
+
+Result<RdfGraph> ParseNTriplesFile(const std::string& path,
+                                   const ParseOptions& opts,
+                                   ParseStats* stats) {
+  TRIAL_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseNTriples(content, opts, stats);
+}
+
+void AppendIriTerm(std::string_view term, std::string* out) {
+  out->push_back('<');
+  for (char c : term) {
+    switch (c) {
+      case '\t': *out += "\\t"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\\': *out += "\\\\"; break;
+      case '>': *out += "\\>"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('>');
 }
 
 std::string SerializeNTriples(const RdfGraph& g) {
   std::string out;
-  auto emit = [&out](const std::string& term) {
-    out.push_back('<');
-    for (char c : term) {
-      switch (c) {
-        case '\t': out += "\\t"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\\': out += "\\\\"; break;
-        case '>': out += "\\>"; break;
-        default: out.push_back(c);
-      }
-    }
-    out.push_back('>');
-  };
   for (const RdfGraph::NameTriple& t : g.triples()) {
-    emit(t[0]);
+    AppendIriTerm(t[0], &out);
     out.push_back(' ');
-    emit(t[1]);
+    AppendIriTerm(t[1], &out);
     out.push_back(' ');
-    emit(t[2]);
+    AppendIriTerm(t[2], &out);
     out += " .\n";
   }
   return out;
+}
+
+std::string SerializeNTriples(const TripleStore& store) {
+  // Collect by name so output order is independent of id assignment.
+  RdfGraph g;
+  for (RelId r = 0; r < store.NumRelations(); ++r) {
+    for (const Triple& t : store.Relation(r)) {
+      g.Add(store.ObjectName(t.s), store.ObjectName(t.p),
+            store.ObjectName(t.o));
+    }
+  }
+  return SerializeNTriples(g);
 }
 
 }  // namespace trial

@@ -10,13 +10,24 @@
 //                                        no '<', '"', '.')
 //   comment := '#' ...
 //
-// Escapes \t \n \r \\ \> are honored inside <...>.  Anything else —
-// literals, blank nodes, malformed terms — is reported with a line
-// number, never silently dropped.
+// Escapes \t \n \r \\ \> are honored inside <...>.  Malformed terms are
+// always reported with a line number.  Literals ("...") and blank nodes
+// (_:...) are rejected by default — they are not part of ground RDF —
+// but real-world dumps contain them, so ParseOptions::accept_unsupported
+// switches to skip-and-count: the offending lines are dropped and
+// tallied in ParseStats instead of failing the load.
+//
+// The parsing core is a zero-copy callback scanner (ParseNTriplesChunk):
+// it hands each triple to a sink as string_views into the input buffer
+// (escape-free terms are never copied), which is what both the legacy
+// RdfGraph API below and the parallel bulk loader (loader/bulk_load.h)
+// are built on.
 
 #ifndef TRIAL_RDF_NTRIPLES_H_
 #define TRIAL_RDF_NTRIPLES_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -25,16 +36,70 @@
 
 namespace trial {
 
+/// Parser behavior knobs.
+struct ParseOptions {
+  /// When true, lines whose terms are literals ("...") or blank nodes
+  /// (_:...) are skipped and counted in ParseStats instead of failing
+  /// the parse.  Malformed lines still error either way.
+  bool accept_unsupported = false;
+};
+
+/// Line-level accounting of one parse.
+struct ParseStats {
+  size_t lines = 0;             ///< lines scanned (incl. blank/comment)
+  size_t triples = 0;           ///< triples handed to the sink
+  size_t skipped_literals = 0;  ///< lines dropped for a literal term
+  size_t skipped_blanks = 0;    ///< lines dropped for a blank-node term
+
+  size_t skipped() const { return skipped_literals + skipped_blanks; }
+};
+
+/// Receives one parsed triple.  The views point into the input text for
+/// escape-free terms, otherwise into scratch storage owned by the
+/// parser; either way they are valid only for the duration of the call.
+using NTripleSink =
+    std::function<void(std::string_view s, std::string_view p,
+                       std::string_view o)>;
+
+/// The zero-copy core: scans `text` (any suffix of a document starting
+/// on a line boundary), invoking `sink` per triple.  Errors are
+/// reported as "line N" with N counted from `first_line` (1-based), so
+/// parallel chunk workers report document-global line numbers.  `stats`
+/// may be null.
+Status ParseNTriplesChunk(std::string_view text, const ParseOptions& opts,
+                          size_t first_line, const NTripleSink& sink,
+                          ParseStats* stats);
+
 /// Parses an N-Triples document from a string.
 Result<RdfGraph> ParseNTriples(std::string_view text);
+Result<RdfGraph> ParseNTriples(std::string_view text,
+                               const ParseOptions& opts,
+                               ParseStats* stats = nullptr);
 
 /// Parses an N-Triples file from disk.
 Result<RdfGraph> ParseNTriplesFile(const std::string& path);
+Result<RdfGraph> ParseNTriplesFile(const std::string& path,
+                                   const ParseOptions& opts,
+                                   ParseStats* stats = nullptr);
+
+/// Reads a whole file into a string (kNotFound when unopenable).
+/// Shared by the file-parsing entry points and the bulk loader.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Appends `term` to *out as an angle-bracketed IRI with the serializer's
+/// escaping — the exact inverse of the parser's unescaping.
+void AppendIriTerm(std::string_view term, std::string* out);
 
 /// Serializes a document; every resource is written as <resource>, with
 /// the inverse of the parser's escaping.  Round-trips through
 /// ParseNTriples.
 std::string SerializeNTriples(const RdfGraph& g);
+
+/// Serializes a triplestore: the union of every relation's triples as
+/// name triples, sorted and deduplicated.  Relation structure is not
+/// representable in N-Triples; a store loaded per-predicate round-trips
+/// because the predicate column *is* the relation name.
+std::string SerializeNTriples(const TripleStore& store);
 
 }  // namespace trial
 

@@ -38,6 +38,24 @@ class TripleSet {
   }
   void Insert(ObjId s, ObjId p, ObjId o) { Insert(Triple{s, p, o}); }
 
+  /// Stages a whole batch at once (the bulk loader's per-worker runs).
+  /// Equivalent to Insert per element but a single append — an
+  /// unreserved empty staging area adopts the vector wholesale, a
+  /// Reserve'd one keeps its buffer.  Normalization stays lazy, so
+  /// successive batches still pay one sort + inplace_merge on the next
+  /// read, and the shared index-cache cell detaches exactly as for
+  /// Insert.
+  void InsertBatch(std::vector<Triple> batch) {
+    if (staged_.empty() && staged_.capacity() < batch.size()) {
+      staged_ = std::move(batch);
+    } else {
+      staged_.insert(staged_.end(), batch.begin(), batch.end());
+    }
+  }
+
+  /// Pre-sizes the staging area for `n` further triples.
+  void Reserve(size_t n) { staged_.reserve(staged_.size() + n); }
+
   /// Membership test.
   bool Contains(const Triple& t) const;
 

@@ -8,6 +8,12 @@ ObjId TripleStore::InternObject(std::string_view name) {
   return id;
 }
 
+std::vector<ObjId> TripleStore::MergeDictionary(const StringInterner& shard) {
+  std::vector<ObjId> remap = objects_.MergeFrom(shard);
+  if (objects_.size() > rho_.size()) rho_.resize(objects_.size());
+  return remap;
+}
+
 void TripleStore::SetValue(ObjId id, DataValue v) {
   if (id >= rho_.size()) rho_.resize(id + 1);
   rho_[id] = std::move(v);

@@ -32,6 +32,14 @@ class TripleStore {
   /// Interns `name` and returns its object id; rho defaults to null.
   ObjId InternObject(std::string_view name);
 
+  /// Pre-sizes the object dictionary for about `n` objects.
+  void ReserveObjects(size_t n) { objects_.Reserve(n); }
+
+  /// Interns every object of a shard dictionary (bulk loader workers
+  /// encode against private dictionaries) and returns the remap table:
+  /// remap[shard_id] = global ObjId.  rho for new objects is null.
+  std::vector<ObjId> MergeDictionary(const StringInterner& shard);
+
   /// Id of an existing object or kInvalidIntern.
   ObjId FindObject(std::string_view name) const {
     return objects_.TryGet(name);
@@ -77,6 +85,15 @@ class TripleStore {
   /// Inserts an id-level triple.  Pre: ids valid; relation exists.
   void Add(RelId rel, ObjId s, ObjId p, ObjId o) {
     relations_[rel].Insert(s, p, o);
+  }
+
+  /// Stages a whole batch of id-level triples into `rel` (the bulk
+  /// loader's per-worker sorted runs; any vector is accepted).  The
+  /// relation's staged inplace_merge normalization and index-cache
+  /// detach semantics are exactly those of per-triple Add.
+  /// Pre: ids valid; relation exists.
+  void BulkAppend(RelId rel, std::vector<Triple> batch) {
+    relations_[rel].InsertBatch(std::move(batch));
   }
 
   /// Total triple count over all relations (the "|T|" of the bounds).

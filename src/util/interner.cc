@@ -3,17 +3,30 @@
 namespace trial {
 
 InternId StringInterner::Intern(std::string_view s) {
-  auto it = index_.find(std::string(s));
+  auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   InternId id = static_cast<InternId>(strings_.size());
   strings_.emplace_back(s);
-  index_.emplace(strings_.back(), id);
+  index_.emplace(std::string_view(strings_.back()), id);
   return id;
 }
 
-InternId StringInterner::TryGet(std::string_view s) const {
-  auto it = index_.find(std::string(s));
-  return it == index_.end() ? kInvalidIntern : it->second;
+void StringInterner::RebuildIndex() {
+  index_.clear();
+  index_.reserve(strings_.size());
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    index_.emplace(std::string_view(strings_[i]), static_cast<InternId>(i));
+  }
+}
+
+std::vector<InternId> StringInterner::MergeFrom(const StringInterner& other) {
+  std::vector<InternId> remap;
+  remap.reserve(other.size());
+  Reserve(size() + other.size());
+  for (size_t i = 0; i < other.size(); ++i) {
+    remap.push_back(Intern(other.Get(static_cast<InternId>(i))));
+  }
+  return remap;
 }
 
 }  // namespace trial

@@ -3,11 +3,18 @@
 // Object names (URIs, labels) are interned once and referred to by 32-bit
 // ids everywhere else; triples are therefore 12 bytes and comparisons are
 // integer comparisons.
+//
+// The index is keyed by string_view into the interner's own stable
+// storage (a deque, so ids never move), which makes Intern/TryGet
+// heterogeneous: looking up a string_view never constructs a temporary
+// std::string — this is the hot path of the bulk loader, where every
+// term of every parsed line goes through Intern.
 
 #ifndef TRIAL_UTIL_INTERNER_H_
 #define TRIAL_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,21 +32,56 @@ inline constexpr InternId kInvalidIntern = UINT32_MAX;
 /// Bidirectional string <-> id dictionary.  Not thread-safe.
 class StringInterner {
  public:
+  StringInterner() = default;
+  // The index's keys are views into this object's own storage, so a
+  // copy must re-key against its copied strings (moves are fine: deque
+  // elements don't relocate).
+  StringInterner(const StringInterner& other) : strings_(other.strings_) {
+    RebuildIndex();
+  }
+  StringInterner& operator=(const StringInterner& other) {
+    if (this != &other) {
+      strings_ = other.strings_;
+      RebuildIndex();
+    }
+    return *this;
+  }
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
   /// Returns the id for `s`, interning it if new.
   InternId Intern(std::string_view s);
 
   /// Returns the id for `s` or kInvalidIntern if never interned.
-  InternId TryGet(std::string_view s) const;
+  InternId TryGet(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidIntern : it->second;
+  }
 
   /// Returns the string for an id.  Pre: id < size().
   std::string_view Get(InternId id) const { return strings_[id]; }
+
+  /// Pre-sizes the hash index for about `n` strings (the backing
+  /// storage is a deque and needs no reservation).
+  void Reserve(size_t n) { index_.reserve(n); }
+
+  /// Interns every string of `other` (in id order) and returns the
+  /// remap table: remap[id_in_other] = id in this interner.  This is
+  /// the shard-dictionary merge of the bulk loader: workers intern into
+  /// private dictionaries, then their local ids are rewritten through
+  /// the remap into the store's global dictionary.
+  std::vector<InternId> MergeFrom(const StringInterner& other);
 
   size_t size() const { return strings_.size(); }
   bool empty() const { return strings_.empty(); }
 
  private:
-  std::unordered_map<std::string, InternId> index_;
-  std::vector<std::string> strings_;
+  void RebuildIndex();
+
+  // Keys are views into strings_; a deque keeps them stable across
+  // growth.
+  std::unordered_map<std::string_view, InternId> index_;
+  std::deque<std::string> strings_;
 };
 
 }  // namespace trial

@@ -6,6 +6,7 @@
 #include "storage/data_value.h"
 #include "storage/triple_set.h"
 #include "storage/triple_store.h"
+#include "util/interner.h"
 
 namespace trial {
 namespace {
@@ -63,6 +64,53 @@ TEST(TripleSet, InsertNormalizeDedup) {
   EXPECT_FALSE(s.Contains(Triple{3, 2, 1}));
   // Sorted order.
   EXPECT_EQ(s.triples().front(), (Triple{0, 0, 0}));
+}
+
+TEST(TripleSet, InsertBatchMatchesPerTripleInserts) {
+  TripleSet batched, single;
+  std::vector<Triple> run1 = {{3, 3, 3}, {1, 1, 1}, {1, 1, 1}};
+  std::vector<Triple> run2 = {{2, 2, 2}, {1, 1, 1}};
+  for (const Triple& t : run1) single.Insert(t);
+  for (const Triple& t : run2) single.Insert(t);
+  batched.Reserve(run1.size() + run2.size());
+  batched.InsertBatch(run1);
+  batched.InsertBatch(run2);
+  EXPECT_EQ(batched, single);
+  EXPECT_EQ(batched.size(), 3u);
+
+  // A batch staged after a read merges through the same normalize path.
+  batched.InsertBatch({{0, 0, 0}, {2, 2, 2}});
+  EXPECT_EQ(batched.size(), 4u);
+  EXPECT_EQ(batched.triples().front(), (Triple{0, 0, 0}));
+}
+
+TEST(TripleStore, BulkAppendKeepsIndexCacheSemantics) {
+  TripleStore store;
+  RelId rel = store.AddRelation("E");
+  for (ObjId i = 0; i < 4; ++i) store.InternObject("o" + std::to_string(i));
+  store.BulkAppend(rel, {{0, 1, 2}, {0, 1, 2}, {2, 1, 3}});
+  EXPECT_EQ(store.Relation(rel).size(), 2u);
+  // Warm a non-base permutation, then mutate: the lookup must see the
+  // appended triple (the cache cell detaches on mutation).
+  EXPECT_EQ(store.Relation(rel).Lookup(2, 2).size(), 1u);
+  store.BulkAppend(rel, {{1, 1, 2}});
+  EXPECT_EQ(store.Relation(rel).Lookup(2, 2).size(), 2u);
+  EXPECT_EQ(store.TotalTriples(), 3u);
+}
+
+TEST(TripleStore, MergeDictionaryRemapsAndExtendsRho) {
+  TripleStore store;
+  store.SetValue(store.InternObject("shared"), DataValue::Int(5));
+  StringInterner shard;
+  shard.Intern("new1");
+  shard.Intern("shared");
+  shard.Intern("new2");
+  std::vector<ObjId> remap = store.MergeDictionary(shard);
+  ASSERT_EQ(remap.size(), 3u);
+  EXPECT_EQ(remap[1], store.FindObject("shared"));
+  EXPECT_EQ(store.NumObjects(), 3u);
+  EXPECT_EQ(store.Value(remap[1]), DataValue::Int(5));
+  EXPECT_TRUE(store.Value(remap[2]).is_null());
 }
 
 TEST(TripleSet, SetAlgebra) {

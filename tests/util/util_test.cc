@@ -49,6 +49,53 @@ TEST(Interner, BidirectionalAndStable) {
   EXPECT_EQ(in.size(), 2u);
 }
 
+TEST(Interner, ReserveAndHeterogeneousLookup) {
+  StringInterner in;
+  in.Reserve(64);
+  // string_view keys (incl. non-terminated substrings) never copy.
+  std::string backing = "alpha/beta";
+  std::string_view alpha = std::string_view(backing).substr(0, 5);
+  std::string_view beta = std::string_view(backing).substr(6);
+  InternId a = in.Intern(alpha);
+  EXPECT_EQ(in.TryGet(alpha), a);
+  EXPECT_EQ(in.TryGet(beta), kInvalidIntern);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  // Returned views stay valid across growth.
+  std::string_view got = in.Get(a);
+  for (int i = 0; i < 1000; ++i) in.Intern("filler" + std::to_string(i));
+  EXPECT_EQ(got, "alpha");
+  EXPECT_EQ(in.Get(a), "alpha");
+}
+
+TEST(Interner, CopiesReKeyTheirIndex) {
+  StringInterner a;
+  InternId x = a.Intern("x");
+  StringInterner b = a;
+  b.Intern("y");
+  a = b;  // copy-assign back
+  StringInterner c(std::move(b));
+  // Every copy resolves lookups through its own storage.
+  EXPECT_EQ(a.TryGet("x"), x);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(c.TryGet("y"), c.Intern("y"));
+  EXPECT_EQ(c.Get(x), "x");
+}
+
+TEST(Interner, MergeFromRemapsSharedAndNewStrings) {
+  StringInterner global, shard;
+  InternId g0 = global.Intern("x");
+  global.Intern("y");
+  shard.Intern("z");
+  shard.Intern("x");
+  std::vector<InternId> remap = global.MergeFrom(shard);
+  ASSERT_EQ(remap.size(), 2u);
+  EXPECT_EQ(remap[0], global.TryGet("z"));
+  EXPECT_EQ(remap[1], g0);
+  EXPECT_EQ(global.size(), 3u);
+  // Merging an empty dictionary is a no-op.
+  EXPECT_TRUE(global.MergeFrom(StringInterner{}).empty());
+}
+
 TEST(BitMatrix, TransitiveClosure) {
   BitMatrix m(5);
   m.Set(0, 1);
