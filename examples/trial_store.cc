@@ -18,7 +18,11 @@
 //   --legacy         load via the legacy ParseNTriplesFile path instead
 //   --verify         load both ways, check name-level store equivalence
 //   --query=EXPR     evaluate a TriAL(*) expression, print the result
-//   --json=PATH      write a load-throughput JSON record
+//   --query-threads=N  also evaluate with N evaluator threads (0 = one
+//                    per hardware thread) and report serial vs parallel
+//                    wall time; results are verified identical
+//   --json=PATH      write a load-throughput JSON record (includes the
+//                    per-expression query timings when --query ran)
 
 #include <cerrno>
 #include <cstdio>
@@ -48,7 +52,18 @@ struct Args {
   bool legacy = false;
   bool verify = false;
   std::string query;
+  size_t query_threads = 1;  // 1: serial only; 0: hardware concurrency
   std::string json;
+};
+
+// Per-expression evaluation timings for the report and the stats JSON.
+struct QueryStats {
+  bool ran = false;
+  std::string expr;
+  size_t result_triples = 0;
+  double serial_seconds = 0;
+  double parallel_seconds = -1;  // < 0: parallel pass not requested
+  size_t threads = 1;
 };
 
 // Parses a nonnegative integer flag value; returns false (with a
@@ -98,6 +113,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->verify = true;
     } else if (const char* v = value("--query=")) {
       a->query = v;
+    } else if (const char* v = value("--query-threads=")) {
+      if (!ParseCount("--query-threads", v, &a->query_threads)) return false;
     } else if (const char* v = value("--json=")) {
       a->json = v;
     } else if (arg.compare(0, 2, "--") == 0) {
@@ -128,7 +145,8 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
-void WriteJson(const Args& args, const BulkLoadStats& stats) {
+void WriteJson(const Args& args, const BulkLoadStats& stats,
+               const QueryStats& query) {
   std::FILE* f = std::fopen(args.json.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", args.json.c_str());
@@ -153,8 +171,7 @@ void WriteJson(const Args& args, const BulkLoadStats& stats) {
                "  \"merge_seconds\": %.4f,\n"
                "  \"total_seconds\": %.4f,\n"
                "  \"triples_per_second\": %.0f,\n"
-               "  \"mb_per_second\": %.1f\n"
-               "}\n",
+               "  \"mb_per_second\": %.1f",
                EscapeJson(args.file).c_str(), stats.bytes, stats.parse.lines,
                stats.parse.triples, stats.parse.skipped_literals,
                stats.parse.skipped_blanks, stats.triples_loaded,
@@ -165,18 +182,43 @@ void WriteJson(const Args& args, const BulkLoadStats& stats) {
                    ? static_cast<double>(stats.bytes) / 1e6 /
                          stats.total_seconds
                    : 0);
+  if (query.ran) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"query\": \"%s\",\n"
+                 "  \"query_result_triples\": %zu,\n"
+                 "  \"query_serial_seconds\": %.4f,\n",
+                 EscapeJson(query.expr).c_str(), query.result_triples,
+                 query.serial_seconds);
+    if (query.parallel_seconds < 0) {
+      std::fprintf(f, "  \"query_parallel_seconds\": null,\n");
+    } else {
+      std::fprintf(f, "  \"query_parallel_seconds\": %.4f,\n",
+                   query.parallel_seconds);
+    }
+    std::fprintf(f, "  \"query_threads\": %zu", query.threads);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", args.json.c_str());
 }
 
-int RunQuery(const TripleStore& store, const std::string& query) {
-  auto expr = ParseTriAL(query, &store);
+int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
+  auto expr = ParseTriAL(args.query, &store);
   if (!expr.ok()) {
     std::fprintf(stderr, "query parse error: %s\n",
                  expr.status().ToString().c_str());
     return 1;
   }
   auto engine = MakeSmartEvaluator();
+  // When comparing serial vs parallel, run one untimed warm-up first:
+  // the first evaluation pays the store's lazy permutation-index
+  // builds (cached on the store's shared cells), which would otherwise
+  // bias the comparison toward whichever engine runs second.
+  if (args.query_threads != 1) {
+    auto warmup = engine->Eval(*expr, store);
+    (void)warmup;
+  }
   Timer t;
   auto result = engine->Eval(*expr, store);
   double secs = t.Seconds();
@@ -185,8 +227,34 @@ int RunQuery(const TripleStore& store, const std::string& query) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nquery:    %s\n", (*expr)->ToString().c_str());
-  std::printf("result:   %zu triples in %.3fs\n", result->size(), secs);
+  out->ran = true;
+  out->expr = (*expr)->ToString();
+  out->result_triples = result->size();
+  out->serial_seconds = secs;
+  std::printf("\nquery:    %s\n", out->expr.c_str());
+  std::printf("serial:   %zu triples in %.3fs\n", result->size(), secs);
+  if (args.query_threads != 1) {
+    EvalOptions eopts;
+    eopts.exec.num_threads = args.query_threads;
+    auto parallel = MakeSmartEvaluator(eopts);
+    Timer tp;
+    auto presult = parallel->Eval(*expr, store);
+    double psecs = tp.Seconds();
+    if (!presult.ok()) {
+      std::fprintf(stderr, "parallel evaluation error: %s\n",
+                   presult.status().ToString().c_str());
+      return 1;
+    }
+    if (*presult != *result) {
+      std::fprintf(stderr, "parallel result DIFFERS from serial\n");
+      return 1;
+    }
+    out->threads = eopts.exec.EffectiveThreads();
+    out->parallel_seconds = psecs;
+    std::printf("parallel: %zu triples in %.3fs (%zu threads, result "
+                "identical to serial)\n",
+                presult->size(), psecs, out->threads);
+  }
   size_t shown = 0;
   for (const Triple& triple : *result) {
     if (++shown > 10) {
@@ -304,7 +372,9 @@ int main(int argc, char** argv) {
                 "(objects, relations, rho)\n");
   }
 
-  if (!args.json.empty()) WriteJson(args, stats);
-  if (!args.query.empty()) return RunQuery(store, args.query);
-  return 0;
+  QueryStats query;
+  int query_rc = 0;
+  if (!args.query.empty()) query_rc = RunQuery(store, args, &query);
+  if (!args.json.empty()) WriteJson(args, stats, query);
+  return query_rc;
 }

@@ -21,6 +21,7 @@
 
 #include "core/expr.h"
 #include "storage/triple_store.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace trial {
@@ -33,6 +34,11 @@ struct EvalOptions {
   /// Abort a Kleene fixpoint after this many rounds (the theoretical
   /// bound |T| <= n^3 always terminates first; this is a safety net).
   size_t max_star_rounds = 10'000'000;
+  /// Parallel execution knobs.  Honored by the smart engine's join and
+  /// fixpoint kernels and the Procedure 3/4 fast paths; the naive and
+  /// matrix reference engines stay serial.  Results are identical for
+  /// every thread count (chunked execution, in-order merge).
+  ExecOptions exec;
 };
 
 /// Abstract QueryComputation engine: e, T  ->  e(T).

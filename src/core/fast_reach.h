@@ -9,6 +9,7 @@
 #define TRIAL_CORE_FAST_REACH_H_
 
 #include "storage/triple_set.h"
+#include "util/parallel.h"
 
 namespace trial {
 
@@ -16,11 +17,18 @@ namespace trial {
 /// reachability graph { i -> j : (i,·,j) ∈ R }, take its
 /// reflexive-transitive closure from every needed source, and emit
 /// (i, k, l) for every (i, k, j) ∈ R and l reachable from j.
-TripleSet StarReachAnyPath(const TripleSet& base);
+///
+/// With exec.num_threads > 1 the per-source frontier expansions (every
+/// source's DFS is independent) and the output emission run on the
+/// thread pool in deterministic chunks; results are identical to the
+/// serial path for any thread count.
+TripleSet StarReachAnyPath(const TripleSet& base, const ExecOptions& exec = {});
 
 /// (R ⋈^{1,2,3'}_{3=1',2=2'})* — Procedure 4, sparse: same computation
 /// restricted to the subgraph of triples sharing each middle element.
-TripleSet StarReachSameMiddle(const TripleSet& base);
+/// Parallelism is per middle group (groups are independent).
+TripleSet StarReachSameMiddle(const TripleSet& base,
+                              const ExecOptions& exec = {});
 
 }  // namespace trial
 

@@ -8,6 +8,7 @@
 // Proposition 5 reachability algorithms when the join spec is one of the
 // two reachTA= shapes.
 
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,9 +16,15 @@
 #include "core/eval.h"
 #include "core/fast_reach.h"
 #include "core/fragment.h"
+#include "util/parallel.h"
 
 namespace trial {
 namespace {
+
+// Parallel kernels flush per-chunk emit counts into the shared
+// result-size guard every this many outputs, so a runaway join aborts
+// promptly without contending on an atomic per triple.
+constexpr size_t kGuardStride = 4096;
 
 // Which side(s) of a join an atom reads.
 enum class Side { kNone, kLeft, kRight, kBoth };
@@ -270,8 +277,12 @@ class SmartEvaluator final : public Evaluator {
       }
       case ExprKind::kStarRight: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet base, EvalNode(*e.left(), store));
-        if (IsReachSpecA(e.join_spec())) return StarReachAnyPath(base);
-        if (IsReachSpecB(e.join_spec())) return StarReachSameMiddle(base);
+        if (IsReachSpecA(e.join_spec())) {
+          return StarReachAnyPath(base, opts_.exec);
+        }
+        if (IsReachSpecB(e.join_spec())) {
+          return StarReachSameMiddle(base, opts_.exec);
+        }
         return SemiNaiveStar(base, e.join_spec(), /*right=*/true, store);
       }
       case ExprKind::kStarLeft: {
@@ -286,12 +297,11 @@ class SmartEvaluator final : public Evaluator {
   // partners for each left triple — by permutation-index range probe
   // when the key has exact object columns, by hashing the right side
   // otherwise — and verify the full condition on each candidate (covers
-  // hash collisions, data equalities and cross inequalities).
+  // hash collisions, data equalities and cross inequalities).  The
+  // probe loop over the left side is the parallel kernel (ProbeLoop).
   Result<TripleSet> HashJoin(const TripleSet& l, const TripleSet& r,
                              const JoinSpec& spec, const TripleStore& store) {
     JoinPlan plan = JoinPlan::Build(spec.cond);
-    TripleSet out;
-    size_t emitted = 0;
     // Build the probe plan only when costing favors probing — planning
     // a three-column key computes build-side stats, which would force
     // the very index builds the hash path exists to avoid.  A one-shot
@@ -304,17 +314,16 @@ class SmartEvaluator final : public Evaluator {
       if (probe.n > 0 && !r.IndexAmortized(probe.Order())) probe.n = 0;
     }
     if (probe.n > 0) {
-      for (const Triple& a : l) {
-        if (!plan.PassesLeft(a, store)) continue;
-        for (const Triple& b : probe.Probe(r, a)) {
-          if (!spec.cond.Holds(a, b, store)) continue;
-          out.Insert(spec.Output(a, b));
-          if (++emitted > opts_.max_result_triples) {
-            return Status::ResourceExhausted("join result too large");
-          }
-        }
-      }
-      return out;
+      // Materialize the probed permutation before concurrent probes:
+      // the lazy index build is single-writer.
+      r.Materialize(probe.Order());
+      return ProbeLoop(l, store, plan,
+                       [&](const Triple& a, std::vector<Triple>* out) {
+                         for (const Triple& b : probe.Probe(r, a)) {
+                           if (!spec.cond.Holds(a, b, store)) continue;
+                           out->push_back(spec.Output(a, b));
+                         }
+                       });
     }
     HashIndex index;
     for (const Triple& b : r) {
@@ -322,19 +331,78 @@ class SmartEvaluator final : public Evaluator {
         index[plan.KeyHashRight(b, store)].push_back(b);
       }
     }
-    for (const Triple& a : l) {
-      if (!plan.PassesLeft(a, store)) continue;
-      auto it = index.find(plan.KeyHashLeft(a, store));
-      if (it == index.end()) continue;
-      for (const Triple& b : it->second) {
-        if (!spec.cond.Holds(a, b, store)) continue;
-        out.Insert(spec.Output(a, b));
-        if (++emitted > opts_.max_result_triples) {
-          return Status::ResourceExhausted("join result too large");
+    return ProbeLoop(l, store, plan,
+                     [&](const Triple& a, std::vector<Triple>* out) {
+                       auto it = index.find(plan.KeyHashLeft(a, store));
+                       if (it == index.end()) return;
+                       for (const Triple& b : it->second) {
+                         if (!spec.cond.Holds(a, b, store)) continue;
+                         out->push_back(spec.Output(a, b));
+                       }
+                     });
+  }
+
+  // The join probe loop: applies `match` (which appends verified output
+  // triples) to every left triple passing the one-sided filters.
+  // Parallel when the exec knobs allow: the left side is consumed
+  // through TripleSet's partition API — contiguous SPO slices, one
+  // private buffer each — and buffers merge in slice order, so the
+  // result is identical for any thread count (and the final TripleSet
+  // normalizes to sorted-unique regardless).  The result-size guard
+  // counts emitted candidates exactly like the serial loop; slices
+  // flush their counts every kGuardStride outputs and abort the
+  // remaining work once the limit trips.
+  template <typename Match>
+  Result<TripleSet> ProbeLoop(const TripleSet& l, const TripleStore& store,
+                              const JoinPlan& plan, const Match& match) {
+    if (opts_.exec.ShouldParallelize(l.size())) {
+      size_t threads = opts_.exec.EffectiveThreads();
+      std::vector<TripleRange> slices =
+          l.Partitions(IndexOrder::kSPO, threads * kChunksPerThread);
+      std::vector<std::vector<Triple>> bufs(slices.size());
+      std::atomic<size_t> emitted{0};
+      std::atomic<bool> overflow{false};
+      ParallelFor(slices.size(), threads, [&](size_t c) {
+        std::vector<Triple>* out = &bufs[c];
+        size_t flushed = 0;
+        for (const Triple& a : slices[c]) {
+          if (overflow.load(std::memory_order_relaxed)) return;
+          if (!plan.PassesLeft(a, store)) continue;
+          match(a, out);
+          if (out->size() - flushed >= kGuardStride) {
+            size_t total = emitted.fetch_add(out->size() - flushed,
+                                             std::memory_order_relaxed) +
+                           (out->size() - flushed);
+            flushed = out->size();
+            if (total > opts_.max_result_triples) {
+              overflow.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
         }
+        emitted.fetch_add(out->size() - flushed, std::memory_order_relaxed);
+      });
+      size_t total = 0;
+      for (const std::vector<Triple>& b : bufs) total += b.size();
+      if (overflow.load() || total > opts_.max_result_triples) {
+        return Status::ResourceExhausted("join result too large");
+      }
+      std::vector<Triple> merged;
+      merged.reserve(total);
+      for (std::vector<Triple>& b : bufs) {
+        merged.insert(merged.end(), b.begin(), b.end());
+      }
+      return TripleSet(std::move(merged));
+    }
+    std::vector<Triple> merged;
+    for (const Triple& a : l.triples()) {
+      if (!plan.PassesLeft(a, store)) continue;
+      match(a, &merged);
+      if (merged.size() > opts_.max_result_triples) {
+        return Status::ResourceExhausted("join result too large");
       }
     }
-    return out;
+    return TripleSet(std::move(merged));
   }
 
   // Semi-naive fixpoint: only the last round's delta re-joins the fixed
@@ -366,43 +434,81 @@ class SmartEvaluator final : public Evaluator {
     TripleHashSet acc(base.begin(), base.end());
     std::vector<Triple> delta(base.begin(), base.end());
     std::vector<Triple> next;
-    // Joins one delta triple with one fixed-side candidate; returns
-    // false when the result-size guard trips.
-    auto consume = [&](const Triple& d, const Triple& b) {
-      const Triple& lt = right ? d : b;
-      const Triple& rt = right ? b : d;
-      if (!spec.cond.Holds(lt, rt, store)) return true;
-      Triple o = spec.Output(lt, rt);
-      if (acc.insert(o).second) {
-        next.push_back(o);
-        if (acc.size() > opts_.max_result_triples) return false;
+    // Candidate partners of one delta triple, pre-dedup: every
+    // fixed-side triple matching the join condition, in probe (or hash
+    // bucket) iteration order.  Read-only over base/index/plan, so the
+    // per-round delta expansion can run it from parallel workers.
+    auto candidates = [&](const Triple& d, bool use_probe,
+                          std::vector<Triple>* out) {
+      bool pass = right ? plan.PassesLeft(d, store)
+                        : plan.PassesRight(d, store);
+      if (!pass) return;
+      auto emit = [&](const Triple& b) {
+        const Triple& lt = right ? d : b;
+        const Triple& rt = right ? b : d;
+        if (!spec.cond.Holds(lt, rt, store)) return;
+        out->push_back(spec.Output(lt, rt));
+      };
+      if (use_probe) {
+        for (const Triple& b : probe.Probe(base, d)) emit(b);
+      } else {
+        uint64_t h = right ? plan.KeyHashLeft(d, store)
+                           : plan.KeyHashRight(d, store);
+        auto it = index.find(h);
+        if (it == index.end()) return;
+        for (const Triple& b : it->second) emit(b);
+      }
+    };
+    // Folds candidate outputs into the accumulator in encounter order;
+    // false when the result-size guard trips.  Serial by design: the
+    // dedup against acc is the sequential tail of every round.
+    auto fold = [&](const std::vector<Triple>& cand) {
+      for (const Triple& o : cand) {
+        if (acc.insert(o).second) {
+          next.push_back(o);
+          if (acc.size() > opts_.max_result_triples) return false;
+        }
       }
       return true;
     };
+    std::vector<Triple> scratch;
     for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
       next.clear();
       bool use_probe =
           probe.n > 0 && PreferIndexProbe(delta.size(), base.size());
       if (!use_probe && !hash_built) build_hash();
-      for (const Triple& d : delta) {
-        bool pass = right ? plan.PassesLeft(d, store)
-                          : plan.PassesRight(d, store);
-        if (!pass) continue;
-        if (use_probe) {
-          for (const Triple& b : probe.Probe(base, d)) {
-            if (!consume(d, b)) {
-              return Status::ResourceExhausted("star result too large");
-            }
+      if (opts_.exec.ShouldParallelize(delta.size())) {
+        // Parallel delta expansion in bounded segments: each segment's
+        // candidates are generated in parallel (chunk buffers merged in
+        // order, so the concatenation equals the serial encounter
+        // order) and folded into the accumulator before the next
+        // segment starts.  Memory stays ~ one segment's match count,
+        // and the only guard is the serial one — accumulator growth —
+        // so success/failure is identical for every thread count.
+        if (use_probe) base.Materialize(probe.Order());
+        size_t threads = opts_.exec.EffectiveThreads();
+        size_t segment = std::max(opts_.exec.min_parallel_items,
+                                  static_cast<size_t>(64 * 1024));
+        for (size_t sb = 0; sb < delta.size(); sb += segment) {
+          size_t count = std::min(segment, delta.size() - sb);
+          std::vector<Triple> cand = ParallelChunkedCollect<Triple>(
+              count, threads,
+              [&](size_t, size_t begin, size_t end,
+                  std::vector<Triple>* out) {
+                for (size_t i = begin; i < end; ++i) {
+                  candidates(delta[sb + i], use_probe, out);
+                }
+              });
+          if (!fold(cand)) {
+            return Status::ResourceExhausted("star result too large");
           }
-        } else {
-          uint64_t h = right ? plan.KeyHashLeft(d, store)
-                             : plan.KeyHashRight(d, store);
-          auto it = index.find(h);
-          if (it == index.end()) continue;
-          for (const Triple& b : it->second) {
-            if (!consume(d, b)) {
-              return Status::ResourceExhausted("star result too large");
-            }
+        }
+      } else {
+        for (const Triple& d : delta) {
+          scratch.clear();
+          candidates(d, use_probe, &scratch);
+          if (!fold(scratch)) {
+            return Status::ResourceExhausted("star result too large");
           }
         }
       }

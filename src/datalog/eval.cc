@@ -41,7 +41,6 @@ class RuleEvaluator {
   // Evaluates one rule, inserting derived head triples into `out`.
   Status EvalRule(const Rule& rule, TripleSet* out) {
     rule_ = &rule;
-    out_ = out;
     positive_.clear();
     deferred_.clear();
     for (const Literal& l : rule.body) {
@@ -52,8 +51,10 @@ class RuleEvaluator {
       }
     }
     OrderPositiveAtoms();
-    Env env;
-    return MatchPositive(0, &env);
+    std::vector<Triple> derived;
+    TRIAL_RETURN_IF_ERROR(MatchAll(&derived));
+    out->InsertBatch(std::move(derived));
+    return Status::OK();
   }
 
  private:
@@ -160,15 +161,16 @@ class RuleEvaluator {
     positive_.swap(ordered);
   }
 
-  Status MatchPositive(size_t i, Env* env) {
-    if (i == positive_.size()) return BindFree(env);
-    const Atom& atom = positive_[i]->atom;
-    Status st = Status::OK();
-    const TripleSet* rel = RelationOf(atom.pred, &st);
-    if (rel == nullptr) return st;
-    // Columns whose argument is already fixed (a constant, or a variable
-    // bound by an earlier atom) probe the relation's permutation indexes
-    // instead of scanning; Unify re-verifies every column.
+  // The index range matching `atom` under `env`: columns whose
+  // argument is fixed (a constant, or a variable already bound) probe
+  // the relation's permutation indexes; any pair of bound columns is
+  // some permutation's sorted prefix, a third is re-checked by Unify.
+  // Sets *empty_match when a constant is unknown to the store (the
+  // atom then matches nothing).  Shared by the serial matcher and the
+  // parallel driver so both always iterate the same range.
+  TripleRange AtomRange(const Atom& atom, const Env& env,
+                        const TripleSet& rel, bool* empty_match) const {
+    *empty_match = false;
     int bcol[3];
     ObjId bval[3];
     int nb = 0;
@@ -176,10 +178,13 @@ class RuleEvaluator {
       const Term& term = atom.args[c];
       std::optional<ObjId> v;
       if (term.is_var) {
-        v = env->Get(term.name);
+        v = env.Get(term.name);
       } else {
         ObjId id = store_.FindObject(term.name);
-        if (id == kInvalidIntern) return Status::OK();  // matches nothing
+        if (id == kInvalidIntern) {
+          *empty_match = true;
+          return TripleRange{};
+        }
         v = id;
       }
       if (v.has_value()) {
@@ -188,35 +193,102 @@ class RuleEvaluator {
         ++nb;
       }
     }
-    auto match_range = [&](auto begin, auto end) -> Status {
-      for (auto it = begin; it != end; ++it) {
-        size_t mark = env->Mark();
-        if (Unify(atom, *it, env)) {
-          Status s = MatchPositive(i + 1, env);
-          if (!s.ok()) {
-            env->Rewind(mark);
-            return s;
-          }
-        }
-        env->Rewind(mark);
-      }
-      return Status::OK();
-    };
-    if (nb == 0) return match_range(rel->begin(), rel->end());
-    if (nb == 1) {
-      TripleRange r = rel->Lookup(bcol[0], bval[0]);
-      return match_range(r.begin(), r.end());
+    if (nb == 0) return rel.Scan(IndexOrder::kSPO);
+    if (nb == 1) return rel.Lookup(bcol[0], bval[0]);
+    return rel.LookupPair(bcol[0], bval[0], bcol[1], bval[1]);
+  }
+
+  // Drives the positive-atom matcher over the whole rule.  With
+  // exec.num_threads > 1 and a large enough leading match range, the
+  // range is chunked over the thread pool: each chunk matches with a
+  // private environment and derivation buffer, and buffers merge in
+  // chunk order — exactly the serial derivation sequence, so results
+  // (and error reporting) are identical for every thread count.
+  Status MatchAll(std::vector<Triple>* out) {
+    Env env;
+    size_t threads = opts_.exec.EffectiveThreads();
+    if (threads <= 1 || positive_.empty()) return MatchPositive(0, &env, out);
+    const Atom& atom = positive_[0]->atom;
+    Status st = Status::OK();
+    const TripleSet* rel = RelationOf(atom.pred, &st);
+    if (rel == nullptr) return st;
+    bool empty_match = false;
+    TripleRange range = AtomRange(atom, env, *rel, &empty_match);
+    if (empty_match) return Status::OK();  // unknown constant: no matches
+    if (!opts_.exec.ShouldParallelize(range.size())) {
+      return MatchPositive(0, &env, out);
     }
-    // Two or three bound: any pair is a permutation prefix; a third
-    // bound column is re-checked by Unify over the (small) range.
-    TripleRange r = rel->LookupPair(bcol[0], bval[0], bcol[1], bval[1]);
-    return match_range(r.begin(), r.end());
+    // Materialize every relation the workers may probe — the lazy
+    // normalization and permutation builds are single-writer, so they
+    // must not happen under concurrent Lookup calls.  Stats() forces
+    // all three permutations.
+    for (const Literal* l : positive_) {
+      const TripleSet* r = RelationOf(l->atom.pred, &st);
+      if (r == nullptr) return st;
+      r->Stats();
+    }
+    for (const Literal* l : deferred_) {
+      if (l->kind != Literal::Kind::kAtom) continue;
+      st = Status::OK();
+      if (const TripleSet* r = RelationOf(l->atom.pred, &st)) r->Stats();
+      // An unknown deferred predicate surfaces inside the matcher,
+      // exactly as in the serial path.
+    }
+    std::vector<ChunkRange> chunks =
+        SplitEven(range.size(), threads * kChunksPerThread);
+    std::vector<std::vector<Triple>> parts(chunks.size());
+    std::vector<Status> status(chunks.size(), Status::OK());
+    ParallelFor(chunks.size(), threads, [&](size_t c) {
+      Env wenv;
+      for (size_t i = chunks[c].begin; i < chunks[c].end && status[c].ok();
+           ++i) {
+        size_t mark = wenv.Mark();
+        if (Unify(atom, range.begin()[i], &wenv)) {
+          Status s = MatchPositive(1, &wenv, &parts[c]);
+          if (!s.ok()) status[c] = s;
+        }
+        wenv.Rewind(mark);
+      }
+    });
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      if (!status[c].ok()) return status[c];
+    }
+    size_t total = 0;
+    for (const std::vector<Triple>& p : parts) total += p.size();
+    out->reserve(out->size() + total);
+    for (std::vector<Triple>& p : parts) {
+      out->insert(out->end(), p.begin(), p.end());
+    }
+    return Status::OK();
+  }
+
+  Status MatchPositive(size_t i, Env* env, std::vector<Triple>* out) {
+    if (i == positive_.size()) return BindFree(env, out);
+    const Atom& atom = positive_[i]->atom;
+    Status st = Status::OK();
+    const TripleSet* rel = RelationOf(atom.pred, &st);
+    if (rel == nullptr) return st;
+    bool empty_match = false;
+    TripleRange range = AtomRange(atom, *env, *rel, &empty_match);
+    if (empty_match) return Status::OK();
+    for (const Triple& t : range) {
+      size_t mark = env->Mark();
+      if (Unify(atom, t, env)) {
+        Status s = MatchPositive(i + 1, env, out);
+        if (!s.ok()) {
+          env->Rewind(mark);
+          return s;
+        }
+      }
+      env->Rewind(mark);
+    }
+    return Status::OK();
   }
 
   // Variables used in the head or in deferred literals but not bound by
   // positive atoms range over the active domain (the complement / U
   // semantics of Section 3).
-  Status BindFree(Env* env) {
+  Status BindFree(Env* env, std::vector<Triple>* out) {
     std::vector<std::string> free;
     auto note = [&](const Term& t) {
       if (t.is_var && !env->Get(t.name).has_value()) {
@@ -235,22 +307,22 @@ class RuleEvaluator {
         note(l->rhs);
       }
     }
-    return EnumerateFree(free, 0, env);
+    return EnumerateFree(free, 0, env, out);
   }
 
   Status EnumerateFree(const std::vector<std::string>& free, size_t i,
-                       Env* env) {
-    if (i == free.size()) return CheckDeferredAndEmit(env);
+                       Env* env, std::vector<Triple>* out) {
+    if (i == free.size()) return CheckDeferredAndEmit(env, out);
     for (ObjId o : adom_) {
       size_t mark = env->Mark();
       env->Set(free[i], o);
-      TRIAL_RETURN_IF_ERROR(EnumerateFree(free, i + 1, env));
+      TRIAL_RETURN_IF_ERROR(EnumerateFree(free, i + 1, env, out));
       env->Rewind(mark);
     }
     return Status::OK();
   }
 
-  Status CheckDeferredAndEmit(Env* env) {
+  Status CheckDeferredAndEmit(Env* env, std::vector<Triple>* out) {
     for (const Literal* l : deferred_) {
       switch (l->kind) {
         case Literal::Kind::kAtom: {
@@ -301,7 +373,7 @@ class RuleEvaluator {
       if (i == 1) t.p = *v;
       if (i == 2) t.o = *v;
     }
-    out_->Insert(t);
+    out->push_back(t);
     return Status::OK();
   }
 
@@ -310,7 +382,6 @@ class RuleEvaluator {
   const DatalogOptions& opts_;
   std::vector<ObjId> adom_;
   const Rule* rule_ = nullptr;
-  TripleSet* out_ = nullptr;
   std::vector<const Literal*> positive_;
   std::vector<const Literal*> deferred_;
 };

@@ -15,6 +15,7 @@
 
 #include "datalog/ast.h"
 #include "storage/triple_store.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace trial {
@@ -24,6 +25,11 @@ namespace datalog {
 struct DatalogOptions {
   size_t max_derived_triples = 50'000'000;
   size_t max_fixpoint_rounds = 10'000'000;
+  /// Parallel execution knobs: each (fixpoint round's) rule evaluation
+  /// chunks the leading positive atom's match range over the thread
+  /// pool, with per-chunk derivation buffers merged in chunk order —
+  /// derived relations are identical for every thread count.
+  ExecOptions exec;
 };
 
 /// Evaluates the program; returns the value of `answer_pred`.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace trial {
 
 TripleSet::TripleSet(std::vector<Triple> triples)
@@ -70,6 +72,28 @@ bool TripleSet::IndexAmortized(IndexOrder order) const {
 TripleRange TripleSet::Scan(IndexOrder order) const {
   const std::vector<Triple>& v = OrderVector(order);
   return {v.data(), v.data() + v.size()};
+}
+
+TripleRange TripleSet::Scan(IndexOrder order, size_t part,
+                            size_t num_parts) const {
+  const std::vector<Triple>& v = OrderVector(order);
+  if (num_parts == 0) num_parts = 1;
+  if (part >= num_parts) return TripleRange{};
+  size_t n = v.size();
+  return {v.data() + n * part / num_parts,
+          v.data() + n * (part + 1) / num_parts};
+}
+
+std::vector<TripleRange> TripleSet::Partitions(IndexOrder order,
+                                               size_t num_parts) const {
+  const std::vector<Triple>& v = OrderVector(order);
+  std::vector<ChunkRange> chunks = SplitEven(v.size(), num_parts);
+  std::vector<TripleRange> out;
+  out.reserve(chunks.size());
+  for (const ChunkRange& c : chunks) {
+    out.push_back({v.data() + c.begin, v.data() + c.end});
+  }
+  return out;
 }
 
 const TripleSetStats& TripleSet::Stats() const {

@@ -1,8 +1,49 @@
 #include "util/interner.h"
 
+#include <cassert>
+
 namespace trial {
+namespace {
+
+// Debug enforcement of the header's thread-safety contract.  The
+// writer bias is far below any plausible reader count, so a negative
+// state always means "a writer is active".
+constexpr int kWriterBias = 1 << 24;
+
+struct ReaderGuard {
+#ifndef NDEBUG
+  explicit ReaderGuard(const AccessCheck& c) : check(c) {
+    int prev = check.state.fetch_add(1, std::memory_order_acquire);
+    assert(prev >= 0 && "StringInterner lookup during a mutation");
+    (void)prev;
+  }
+  ~ReaderGuard() { check.state.fetch_sub(1, std::memory_order_release); }
+  const AccessCheck& check;
+#else
+  explicit ReaderGuard(const AccessCheck&) {}
+#endif
+};
+
+struct WriterGuard {
+#ifndef NDEBUG
+  explicit WriterGuard(const AccessCheck& c) : check(c) {
+    int prev = check.state.fetch_sub(kWriterBias, std::memory_order_acquire);
+    assert(prev == 0 &&
+           "StringInterner mutation overlapping another access "
+           "(single-writer contract)");
+    (void)prev;
+  }
+  ~WriterGuard() { check.state.fetch_add(kWriterBias, std::memory_order_release); }
+  const AccessCheck& check;
+#else
+  explicit WriterGuard(const AccessCheck&) {}
+#endif
+};
+
+}  // namespace
 
 InternId StringInterner::Intern(std::string_view s) {
+  WriterGuard guard(check_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   InternId id = static_cast<InternId>(strings_.size());
@@ -10,6 +51,19 @@ InternId StringInterner::Intern(std::string_view s) {
   index_.emplace(std::string_view(strings_.back()), id);
   return id;
 }
+
+#ifndef NDEBUG
+InternId StringInterner::TryGet(std::string_view s) const {
+  ReaderGuard guard(check_);
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidIntern : it->second;
+}
+
+std::string_view StringInterner::Get(InternId id) const {
+  ReaderGuard guard(check_);
+  return strings_[id];
+}
+#endif
 
 void StringInterner::RebuildIndex() {
   index_.clear();

@@ -9,10 +9,20 @@
 // heterogeneous: looking up a string_view never constructs a temporary
 // std::string — this is the hot path of the bulk loader, where every
 // term of every parsed line goes through Intern.
+//
+// Thread-safety contract (relied on by the parallel query kernels,
+// which call TryGet/Get from pool workers against a store dictionary
+// built before evaluation): const lookups — TryGet, Get, size — are
+// safe from any number of threads AFTER the dictionary is built, i.e.
+// as long as no mutation runs concurrently.  Mutation — Intern,
+// MergeFrom, Reserve, assignment — is single-writer: it must never
+// overlap another mutation OR a lookup.  Debug builds assert-enforce
+// the rule (see AccessCheck below); release builds pay nothing.
 
 #ifndef TRIAL_UTIL_INTERNER_H_
 #define TRIAL_UTIL_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -22,6 +32,21 @@
 
 namespace trial {
 
+/// Debug-only enforcement of a single-writer / concurrent-reader
+/// contract: readers raise `state` by 1 while active, a writer adds a
+/// large negative bias, and both assert they never observe the other
+/// (readers assert state >= 0, the writer asserts it was alone).  The
+/// guard carries no real state — copies and moves reset it — and in
+/// NDEBUG builds it is an empty struct.
+struct AccessCheck {
+#ifndef NDEBUG
+  mutable std::atomic<int> state{0};
+#endif
+  AccessCheck() = default;
+  AccessCheck(const AccessCheck&) {}
+  AccessCheck& operator=(const AccessCheck&) { return *this; }
+};
+
 /// Dense id assigned to an interned string.  Ids start at 0 and are
 /// contiguous, so they can index vectors directly.
 using InternId = uint32_t;
@@ -29,7 +54,9 @@ using InternId = uint32_t;
 /// Sentinel returned by TryGet for unknown strings.
 inline constexpr InternId kInvalidIntern = UINT32_MAX;
 
-/// Bidirectional string <-> id dictionary.  Not thread-safe.
+/// Bidirectional string <-> id dictionary.  Const lookups are safe
+/// concurrently once built; mutation is single-writer and must not
+/// overlap any other access (see the contract above).
 class StringInterner {
  public:
   StringInterner() = default;
@@ -53,13 +80,24 @@ class StringInterner {
   InternId Intern(std::string_view s);
 
   /// Returns the id for `s` or kInvalidIntern if never interned.
+  /// (Release builds keep the lookups inline — these are the bulk
+  /// loader's and the matchers' hot paths; debug builds move them
+  /// out-of-line to attach the contract-asserting guards.)
+#ifdef NDEBUG
   InternId TryGet(std::string_view s) const {
     auto it = index_.find(s);
     return it == index_.end() ? kInvalidIntern : it->second;
   }
+#else
+  InternId TryGet(std::string_view s) const;
+#endif
 
   /// Returns the string for an id.  Pre: id < size().
+#ifdef NDEBUG
   std::string_view Get(InternId id) const { return strings_[id]; }
+#else
+  std::string_view Get(InternId id) const;
+#endif
 
   /// Pre-sizes the hash index for about `n` strings (the backing
   /// storage is a deque and needs no reservation).
@@ -82,6 +120,7 @@ class StringInterner {
   // growth.
   std::unordered_map<std::string_view, InternId> index_;
   std::deque<std::string> strings_;
+  AccessCheck check_;
 };
 
 }  // namespace trial

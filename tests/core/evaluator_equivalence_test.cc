@@ -7,6 +7,7 @@
 
 #include "core/builder.h"
 #include "core/eval.h"
+#include "core/fast_reach.h"
 #include "core/optimizer.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -163,6 +164,73 @@ TEST(EngineEquivalenceSkewed, AllEnginesAgreeOnZipfStores) {
       EXPECT_EQ(*rn, *rm) << "naive vs matrix on " << e->ToString();
       EXPECT_EQ(*rn, *rs) << "naive vs smart on " << e->ToString();
     }
+  }
+}
+
+// Thread-count invariance — the parallel kernels' determinism contract:
+// with min_parallel_items forced to 1 so the join probe loop, the
+// semi-naive delta expansion and the Procedure 3/4 fast paths all take
+// their parallel branches even on tiny stores, results are identical
+// for 1, 2 and 4 threads (and to the stock serial engine) across
+// random TriAL expressions, stars included, on Zipf-skewed stores.
+TEST(ParallelInvariance, SmartEngineResultsAreThreadCountInvariant) {
+  auto make = [](size_t threads) {
+    EvalOptions opts;
+    opts.exec.num_threads = threads;
+    opts.exec.min_parallel_items = 1;
+    return MakeSmartEvaluator(opts);
+  };
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 733 + 7);
+    RandomStoreOptions opts;
+    opts.num_objects = 12;
+    opts.num_triples = 60;
+    opts.num_data_values = 3;
+    opts.zipf_p = 1.2;
+    opts.zipf_o = 0.8;
+    opts.seed = seed * 19 + 3;
+    TripleStore store = RandomTripleStore(opts);
+
+    auto serial = MakeSmartEvaluator();  // stock defaults: serial path
+    auto t1 = make(1);
+    auto t2 = make(2);
+    auto t4 = make(4);
+    for (int i = 0; i < 8; ++i) {
+      ExprPtr e = RandomExpr(&rng, 3, /*allow_star=*/true);
+      auto r0 = serial->Eval(e, store);
+      auto r1 = t1->Eval(e, store);
+      auto r2 = t2->Eval(e, store);
+      auto r4 = t4->Eval(e, store);
+      ASSERT_TRUE(r0.ok()) << r0.status().ToString() << "\n" << e->ToString();
+      ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+      ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+      ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+      EXPECT_EQ(*r0, *r1) << "serial vs 1-thread on " << e->ToString();
+      EXPECT_EQ(*r1, *r2) << "1 vs 2 threads on " << e->ToString();
+      EXPECT_EQ(*r1, *r4) << "1 vs 4 threads on " << e->ToString();
+    }
+  }
+}
+
+// The reachTA= fast paths under explicit thread counts, on a store big
+// enough that the parallel source-expansion branch does real chunking.
+TEST(ParallelInvariance, ReachFastPathsAreThreadCountInvariant) {
+  RandomStoreOptions opts;
+  opts.num_objects = 80;
+  opts.num_triples = 400;
+  opts.zipf_o = 0.7;
+  opts.seed = 5;
+  TripleStore store = RandomTripleStore(opts);
+  const TripleSet& base = *store.FindRelation("E");
+  ExecOptions serial;
+  TripleSet any1 = StarReachAnyPath(base, serial);
+  TripleSet mid1 = StarReachSameMiddle(base, serial);
+  for (size_t threads : std::vector<size_t>{2, 4}) {
+    ExecOptions exec;
+    exec.num_threads = threads;
+    exec.min_parallel_items = 1;
+    EXPECT_EQ(StarReachAnyPath(base, exec), any1) << threads << " threads";
+    EXPECT_EQ(StarReachSameMiddle(base, exec), mid1) << threads << " threads";
   }
 }
 

@@ -1,0 +1,110 @@
+// The parallel execution layer: deterministic chunking, the global
+// thread pool, and the in-order collect helper the query kernels build
+// on (see src/util/parallel.h for the determinism contract).
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace trial {
+namespace {
+
+TEST(SplitEvenTest, CoversRangeContiguouslyAndEvenly) {
+  for (size_t n : std::vector<size_t>{0, 1, 2, 7, 100, 1001}) {
+    for (size_t chunks : std::vector<size_t>{1, 2, 3, 8, 1000}) {
+      std::vector<ChunkRange> cs = SplitEven(n, chunks);
+      ASSERT_FALSE(cs.empty());
+      EXPECT_LE(cs.size(), std::max<size_t>(chunks, 1));
+      EXPECT_EQ(cs.front().begin, 0u);
+      EXPECT_EQ(cs.back().end, n);
+      size_t lo = n, hi = 0;
+      for (size_t i = 0; i < cs.size(); ++i) {
+        if (i > 0) {
+          EXPECT_EQ(cs[i].begin, cs[i - 1].end);
+        }
+        lo = std::min(lo, cs[i].size());
+        hi = std::max(hi, cs[i].size());
+      }
+      if (n > 0) {
+        EXPECT_GE(lo, 1u);  // no empty chunks on non-empty input
+        EXPECT_LE(hi - lo, 1u);
+      }
+    }
+  }
+}
+
+TEST(SplitEvenTest, DependsOnlyOnArguments) {
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<ChunkRange> a = SplitEven(12345, 7);
+    std::vector<ChunkRange> b = SplitEven(12345, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].begin, b[i].begin);
+      EXPECT_EQ(a[i].end, b[i].end);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  for (size_t threads : std::vector<size_t>{1, 2, 4, 8}) {
+    std::vector<int> hits(257, 0);
+    // Distinct tasks write distinct elements: no data race, and a task
+    // run twice (or never) shows up as hits[t] != 1.
+    ParallelFor(hits.size(), threads, [&](size_t t) { ++hits[t]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInlineWithoutDeadlock) {
+  std::atomic<int> count{0};
+  ParallelFor(4, 4, [&](size_t) {
+    ParallelFor(8, 4, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsReusableAcrossRuns) {
+  std::atomic<size_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    ParallelFor(16, 4, [&](size_t t) { sum.fetch_add(t); });
+  }
+  EXPECT_EQ(sum.load(), 50u * (15 * 16 / 2));
+}
+
+TEST(ParallelChunkedCollectTest, MergeOrderIsThreadCountInvariant) {
+  const size_t n = 10007;
+  auto body = [](size_t, size_t begin, size_t end, std::vector<int>* out) {
+    for (size_t i = begin; i < end; ++i) {
+      out->push_back(static_cast<int>(i * 3));
+    }
+  };
+  std::vector<int> serial = ParallelChunkedCollect<int>(n, 1, body);
+  ASSERT_EQ(serial.size(), n);
+  EXPECT_EQ(serial[5], 15);
+  for (size_t threads : std::vector<size_t>{2, 4, 16}) {
+    EXPECT_EQ(ParallelChunkedCollect<int>(n, threads, body), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExecOptionsTest, DefaultsAreSerial) {
+  ExecOptions opts;
+  EXPECT_EQ(opts.EffectiveThreads(), 1u);
+  EXPECT_FALSE(opts.ShouldParallelize(1u << 20));
+}
+
+TEST(ExecOptionsTest, ThresholdGatesParallelism) {
+  ExecOptions opts;
+  opts.num_threads = 4;
+  opts.min_parallel_items = 100;
+  EXPECT_TRUE(opts.ShouldParallelize(100));
+  EXPECT_FALSE(opts.ShouldParallelize(99));
+  opts.num_threads = 0;  // hardware concurrency
+  EXPECT_GE(opts.EffectiveThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace trial
