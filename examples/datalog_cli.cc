@@ -2,17 +2,22 @@
 // evaluate, print the answer relation.  A tiny end-to-end driver for the
 // whole stack: parser -> validator -> translation -> TriAL* engine.
 //
-//   $ ./examples/datalog_cli data.nt program.dl [answer_pred]
-//   $ ./examples/datalog_cli --demo
+//   $ ./examples/datalog_cli [--explain] data.nt program.dl [answer_pred]
+//   $ ./examples/datalog_cli --demo [--explain]
 //
 // With --demo it runs the built-in Figure 1 store and a reachability
-// program.
+// program.  --explain prints the physical plan of the translated
+// TriAL(*) expression — operator tree with estimated vs actual row
+// counts — for the translation route (general recursion is evaluated
+// directly and has no TriAL plan).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/eval.h"
+#include "core/plan/plan.h"
 #include "datalog/analysis.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -25,7 +30,7 @@ using namespace trial;
 namespace {
 
 int RunProgram(const TripleStore& store, const std::string& text,
-               const std::string& answer) {
+               const std::string& answer, bool explain) {
   auto prog = datalog::ParseProgram(text);
   if (!prog.ok()) {
     std::fprintf(stderr, "program: %s\n", prog.status().ToString().c_str());
@@ -49,6 +54,10 @@ int RunProgram(const TripleStore& store, const std::string& text,
   // general recursion.
   Result<TripleSet> result = TripleSet();
   if (info->cls == datalog::ProgramClass::kGeneralRecursive) {
+    if (explain) {
+      std::printf("(general recursion is evaluated directly; "
+                  "no TriAL plan)\n");
+    }
     result = datalog::EvalProgram(*prog, store, answer);
   } else {
     auto expr = datalog::ProgramToTriAL(*prog, store, answer);
@@ -58,8 +67,26 @@ int RunProgram(const TripleStore& store, const std::string& text,
       return 1;
     }
     std::printf("translated expression: %s\n", (*expr)->ToString().c_str());
-    auto engine = MakeSmartEvaluator();
-    result = engine->Eval(*expr, store);
+    if (explain) {
+      // The same operators the smart engine runs, with the tree kept
+      // for rendering estimated vs actual cardinalities.
+      Status vs = ValidateExpr(*expr);
+      if (!vs.ok()) {
+        std::fprintf(stderr, "validate: %s\n", vs.ToString().c_str());
+        return 1;
+      }
+      // Warm the stats so the plan shows exact distinct counts (the
+      // planner never forces the builds on its own).
+      for (RelId r = 0; r < store.NumRelations(); ++r) store.RelationStats(r);
+      plan::PlanPtr pl = plan::PlanExpr(*expr, store);
+      result = plan::ExecutePlan(*pl, store);
+      if (result.ok()) plan::RecordRootRows(*pl, *result);
+      std::printf("plan (estimated vs actual rows):\n%s",
+                  plan::Explain(*pl).c_str());
+    } else {
+      auto engine = MakeSmartEvaluator();
+      result = engine->Eval(*expr, store);
+    }
   }
   if (!result.ok()) {
     std::fprintf(stderr, "eval: %s\n", result.status().ToString().c_str());
@@ -84,27 +111,39 @@ const char* kDemoProgram = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+  bool explain = false;
+  bool demo = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (demo && pos.empty()) {
     TripleStore store = TransportStore();
     std::printf("demo: Figure 1 store, same-operator hops\n\n");
-    return RunProgram(store, kDemoProgram, "ans");
+    return RunProgram(store, kDemoProgram, "ans", explain);
   }
-  if (argc < 3) {
+  if (pos.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s data.nt program.dl [answer_pred]\n"
-                 "       %s --demo\n",
+                 "usage: %s [--explain] data.nt program.dl [answer_pred]\n"
+                 "       %s --demo [--explain]\n",
                  argv[0], argv[0]);
     return 2;
   }
-  auto doc = ParseNTriplesFile(argv[1]);
+  auto doc = ParseNTriplesFile(pos[0]);
   if (!doc.ok()) {
     std::fprintf(stderr, "data: %s\n", doc.status().ToString().c_str());
     return 1;
   }
   TripleStore store = doc->ToTripleStore("E");
-  std::FILE* f = std::fopen(argv[2], "rb");
+  std::FILE* f = std::fopen(pos[1], "rb");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    std::fprintf(stderr, "cannot open %s\n", pos[1]);
     return 1;
   }
   std::string text;
@@ -112,5 +151,5 @@ int main(int argc, char** argv) {
   size_t got;
   while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
   std::fclose(f);
-  return RunProgram(store, text, argc > 3 ? argv[3] : "ans");
+  return RunProgram(store, text, pos.size() > 2 ? pos[2] : "ans", explain);
 }

@@ -18,11 +18,15 @@
 //   --legacy         load via the legacy ParseNTriplesFile path instead
 //   --verify         load both ways, check name-level store equivalence
 //   --query=EXPR     evaluate a TriAL(*) expression, print the result
+//   --explain        with --query: evaluate through the physical plan
+//                    layer and print the operator tree with estimated
+//                    vs actual cardinalities
 //   --query-threads=N  also evaluate with N evaluator threads (0 = one
 //                    per hardware thread) and report serial vs parallel
 //                    wall time; results are verified identical
 //   --json=PATH      write a load-throughput JSON record (includes the
-//                    per-expression query timings when --query ran)
+//                    per-expression query timings when --query ran, and
+//                    plan_* fields when --explain was given)
 
 #include <cerrno>
 #include <cstdio>
@@ -32,6 +36,7 @@
 
 #include "core/eval.h"
 #include "core/parser.h"
+#include "core/plan/plan.h"
 #include "loader/bulk_load.h"
 #include "loader/ntriples_writer.h"
 #include "util/timer.h"
@@ -52,6 +57,7 @@ struct Args {
   bool legacy = false;
   bool verify = false;
   std::string query;
+  bool explain = false;
   size_t query_threads = 1;  // 1: serial only; 0: hardware concurrency
   std::string json;
 };
@@ -64,6 +70,13 @@ struct QueryStats {
   double serial_seconds = 0;
   double parallel_seconds = -1;  // < 0: parallel pass not requested
   size_t threads = 1;
+  // Plan fields (--explain): operator count, root estimated vs actual
+  // cardinality, and the rendered tree.
+  bool explained = false;
+  size_t plan_nodes = 0;
+  double plan_est_rows = 0;
+  size_t plan_actual_rows = 0;
+  std::string plan_text;
 };
 
 // Parses a nonnegative integer flag value; returns false (with a
@@ -113,6 +126,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->verify = true;
     } else if (const char* v = value("--query=")) {
       a->query = v;
+    } else if (arg == "--explain") {
+      a->explain = true;
     } else if (const char* v = value("--query-threads=")) {
       if (!ParseCount("--query-threads", v, &a->query_threads)) return false;
     } else if (const char* v = value("--json=")) {
@@ -133,12 +148,20 @@ bool ParseArgs(int argc, char** argv, Args* a) {
                  "header for options)\n");
     return false;
   }
+  if (a->explain && a->query.empty()) {
+    std::fprintf(stderr, "--explain requires --query\n");
+    return false;
+  }
   return true;
 }
 
 std::string EscapeJson(const std::string& s) {
   std::string out;
   for (char c : s) {
+    if (c == '\n') {
+      out.append("\\n");
+      continue;
+    }
     if (c == '"' || c == '\\') out.push_back('\\');
     out.push_back(c);
   }
@@ -197,6 +220,17 @@ void WriteJson(const Args& args, const BulkLoadStats& stats,
                    query.parallel_seconds);
     }
     std::fprintf(f, "  \"query_threads\": %zu", query.threads);
+    if (query.explained) {
+      std::fprintf(f,
+                   ",\n"
+                   "  \"plan_nodes\": %zu,\n"
+                   "  \"plan_est_rows\": %.0f,\n"
+                   "  \"plan_actual_rows\": %zu,\n"
+                   "  \"plan_explain\": \"%s\"",
+                   query.plan_nodes, query.plan_est_rows,
+                   query.plan_actual_rows,
+                   EscapeJson(query.plan_text).c_str());
+    }
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -219,19 +253,47 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
     auto warmup = engine->Eval(*expr, store);
     (void)warmup;
   }
+  // --explain evaluates through the plan API — the same operators the
+  // smart engine shim runs, but with the tree kept for rendering.
+  plan::PlanPtr pl;
+  if (args.explain) {
+    Status vs = ValidateExpr(*expr);
+    if (!vs.ok()) {
+      std::fprintf(stderr, "query validate error: %s\n",
+                   vs.ToString().c_str());
+      return 1;
+    }
+    // Warm every relation's stats so the plan shows exact distinct
+    // counts: the planner itself never forces the O(n log n) builds,
+    // but an EXPLAIN user explicitly asked for cost diagnostics.
+    for (RelId r = 0; r < store.NumRelations(); ++r) store.RelationStats(r);
+    pl = plan::PlanExpr(*expr, store);
+  }
   Timer t;
-  auto result = engine->Eval(*expr, store);
+  auto result = pl != nullptr ? plan::ExecutePlan(*pl, store)
+                              : engine->Eval(*expr, store);
   double secs = t.Seconds();
   if (!result.ok()) {
     std::fprintf(stderr, "evaluation error: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  if (pl != nullptr) {
+    plan::RecordRootRows(*pl, *result);  // about to print the result anyway
+    out->explained = true;
+    out->plan_nodes = pl->TreeSize();
+    out->plan_est_rows = pl->est_rows;
+    out->plan_actual_rows = pl->runtime.actual_rows;
+    out->plan_text = plan::Explain(*pl);
+  }
   out->ran = true;
   out->expr = (*expr)->ToString();
   out->result_triples = result->size();
   out->serial_seconds = secs;
   std::printf("\nquery:    %s\n", out->expr.c_str());
+  if (out->explained) {
+    std::printf("plan (estimated vs actual rows):\n%s", out->plan_text.c_str());
+  }
   std::printf("serial:   %zu triples in %.3fs\n", result->size(), secs);
   if (args.query_threads != 1) {
     EvalOptions eopts;

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "core/exec_limits.h"
 #include "core/expr.h"
 #include "storage/triple_store.h"
 #include "util/parallel.h"
@@ -26,20 +27,11 @@
 
 namespace trial {
 
-/// Resource guards for evaluation.
-struct EvalOptions {
-  /// Abort with kResourceExhausted when any intermediate result exceeds
-  /// this many triples (guards U / complement on large stores).
-  size_t max_result_triples = 50'000'000;
-  /// Abort a Kleene fixpoint after this many rounds (the theoretical
-  /// bound |T| <= n^3 always terminates first; this is a safety net).
-  size_t max_star_rounds = 10'000'000;
-  /// Parallel execution knobs.  Honored by the smart engine's join and
-  /// fixpoint kernels and the Procedure 3/4 fast paths; the naive and
-  /// matrix reference engines stay serial.  Results are identical for
-  /// every thread count (chunked execution, in-order merge).
-  ExecOptions exec;
-};
+/// Resource guards for evaluation: the shared ExecLimits
+/// (max_result_triples, max_rounds, exec) under the TriAL engines'
+/// historical name.  DatalogOptions derives from the same base, so the
+/// guard and threading plumbing is defined exactly once.
+struct EvalOptions : ExecLimits {};
 
 /// Abstract QueryComputation engine: e, T  ->  e(T).
 class Evaluator {
@@ -75,13 +67,25 @@ Status ValidateExpr(const ExprPtr& e);
 /// triplestore database", the domain of the universal relation U).
 std::vector<ObjId> ActiveObjects(const TripleStore& store);
 
+/// Materializes U — all triples over ActiveObjects — guarded by
+/// `max_result_triples` (kResourceExhausted when |O|^3 exceeds it; the
+/// comparison is done in double, since n^3 overflows size_t past ~2.6M
+/// objects).  Shared by the naive engine and the plan executor so the
+/// guard semantics cannot diverge.
+Result<TripleSet> MaterializeUniverse(const TripleStore& store,
+                                      size_t max_result_triples);
+
 /// Selection σ_{cond}(in) with index pushdown, shared by the engines:
 /// equality-to-constant θ atoms bind columns, which route through the
 /// access-path API (TripleSet::Lookup / LookupPair) instead of a linear
 /// scan; the full condition is re-verified on every candidate.
 /// Pre: `cond` is unary (ValidateExpr enforces this).
+/// `strategy_out`, when non-null, receives the route actually taken —
+/// "index" (range probe), "scan" (linear filter) or "empty"
+/// (contradictory constants) — for the plan executor's EXPLAIN output.
 TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
-                        const TripleStore& store);
+                        const TripleStore& store,
+                        const char** strategy_out = nullptr);
 
 /// π_{1,3}: the pairs (s, o) of a triple set, as triples (s, s, o) are
 /// NOT produced — this is the API-edge projection used when comparing

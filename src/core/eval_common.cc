@@ -36,6 +36,24 @@ Status ValidateExpr(const ExprPtr& e) {
   return Status::Internal("unknown expression kind");
 }
 
+Result<TripleSet> MaterializeUniverse(const TripleStore& store,
+                                      size_t max_result_triples) {
+  std::vector<ObjId> objs = ActiveObjects(store);
+  double n = static_cast<double>(objs.size());
+  if (n * n * n > static_cast<double>(max_result_triples)) {
+    return Status::ResourceExhausted("universal relation too large: " +
+                                     std::to_string(objs.size()) +
+                                     "^3 triples");
+  }
+  TripleSet out;
+  for (ObjId a : objs) {
+    for (ObjId b : objs) {
+      for (ObjId c : objs) out.Insert(a, b, c);
+    }
+  }
+  return out;
+}
+
 std::vector<ObjId> ActiveObjects(const TripleStore& store) {
   std::vector<bool> seen(store.NumObjects(), false);
   for (RelId r = 0; r < store.NumRelations(); ++r) {
@@ -51,7 +69,10 @@ std::vector<ObjId> ActiveObjects(const TripleStore& store) {
 }
 
 TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
-                        const TripleStore& store) {
+                        const TripleStore& store,
+                        const char** strategy_out) {
+  const char* strategy = "scan";
+  if (strategy_out != nullptr) *strategy_out = strategy;
   // Columns pinned to a constant by an equality atom.  Two different
   // constants on the same column make the selection empty.
   bool bind[3] = {false, false, false};
@@ -61,7 +82,10 @@ TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
     const ObjTerm& pos_term = c.lhs.is_pos ? c.lhs : c.rhs;
     const ObjTerm& const_term = c.lhs.is_pos ? c.rhs : c.lhs;
     int col = PosColumn(pos_term.pos);
-    if (bind[col] && val[col] != const_term.constant) return TripleSet();
+    if (bind[col] && val[col] != const_term.constant) {
+      if (strategy_out != nullptr) *strategy_out = "empty";
+      return TripleSet();
+    }
     bind[col] = true;
     val[col] = const_term.constant;
   }
@@ -86,8 +110,10 @@ TripleSet SelectIndexed(const TripleSet& in, const CondSet& cond,
   if (a < 0 || !in.IndexAmortized(path.order)) {
     for (const Triple& t : in) emit(t);
   } else if (b < 0) {
+    if (strategy_out != nullptr) *strategy_out = "index";
     for (const Triple& t : in.Lookup(a, val[a])) emit(t);
   } else {
+    if (strategy_out != nullptr) *strategy_out = "index";
     // Two (or three) bound columns: probe the pair; a third constant is
     // caught by the HoldsUnary re-verification.
     for (const Triple& t : in.LookupPair(a, val[a], b, val[b])) emit(t);

@@ -114,7 +114,7 @@ class MatrixEvaluator final : public Evaluator {
         bool right = e.kind() == ExprKind::kStarRight;
         // Procedure 2.
         BitTensor3 acc = base;
-        for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
+        for (size_t round = 0; round < opts_.max_rounds; ++round) {
           BitTensor3 step = right ? JoinTensors(acc, base, e.join_spec(), store)
                                   : JoinTensors(base, acc, e.join_spec(), store);
           if (!acc.OrInPlace(step)) return acc;

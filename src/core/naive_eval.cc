@@ -72,20 +72,7 @@ class NaiveEvaluator final : public Evaluator {
   }
 
   Result<TripleSet> EvalUniverse(const TripleStore& store) {
-    std::vector<ObjId> objs = ActiveObjects(store);
-    size_t n = objs.size();
-    if (n * n * n > opts_.max_result_triples) {
-      return Status::ResourceExhausted(
-          "universal relation U would hold " + std::to_string(n * n * n) +
-          " triples");
-    }
-    TripleSet out;
-    for (ObjId a : objs) {
-      for (ObjId b : objs) {
-        for (ObjId c : objs) out.Insert(a, b, c);
-      }
-    }
-    return out;
+    return MaterializeUniverse(store, opts_.max_result_triples);
   }
 
   // Procedure 1: full nested loop with condition test.
@@ -112,7 +99,7 @@ class NaiveEvaluator final : public Evaluator {
   Result<TripleSet> EvalStar(const TripleSet& base, const JoinSpec& spec,
                              bool right, const TripleStore& store) {
     TripleSet acc = base;
-    for (size_t round = 0; round < opts_.max_star_rounds; ++round) {
+    for (size_t round = 0; round < opts_.max_rounds; ++round) {
       Result<TripleSet> step = right ? EvalJoin(acc, base, spec, store)
                                      : EvalJoin(base, acc, spec, store);
       if (!step.ok()) return step.status();

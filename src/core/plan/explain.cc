@@ -1,0 +1,92 @@
+// Plan rendering: one operator per line, children indented two spaces,
+// planner estimates next to executed actuals.  The format is stable —
+// golden tests and the CI plan-dump artifact parse it loosely
+// (substring checks), so keep changes additive.
+
+#include <cstdio>
+#include <string>
+
+#include "core/plan/plan.h"
+
+namespace trial {
+namespace plan {
+namespace {
+
+std::string FmtEst(double est) {
+  char buf[32];
+  if (est < 1e7) {
+    std::snprintf(buf, sizeof buf, "%.0f", est);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g", est);
+  }
+  return buf;
+}
+
+void Render(const PlanNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(PlanOpName(n.op));
+  switch (n.op) {
+    case PlanOp::kIndexScan:
+      out->append(" ").append(n.rel_name);
+      break;
+    case PlanOp::kSelectFilter:
+      out->append(" [").append(n.spec.cond.ToString()).append("]");
+      break;
+    case PlanOp::kIndexProbeJoin:
+    case PlanOp::kHashJoin:
+      out->append(" [").append(n.spec.ToString()).append("]");
+      break;
+    case PlanOp::kFixpointStar:
+      out->append(n.star_right ? " right" : " left");
+      out->append(" [").append(n.spec.ToString()).append("]");
+      break;
+    case PlanOp::kReachFastPath:
+      out->append(n.reach_same_middle ? " same-middle" : " any-path");
+      break;
+    default:
+      break;
+  }
+  // Predicted access path (probe joins and indexed selections).
+  if (n.access.prefix > 0) {
+    out->append(" via=").append(IndexOrderName(n.access.order));
+  }
+  out->append(" est=").append(FmtEst(n.est_rows));
+  if (n.runtime.executed) {
+    char buf[32];
+    if (n.runtime.rows_known) {
+      std::snprintf(buf, sizeof buf, "%zu", n.runtime.actual_rows);
+    } else {
+      // Executed, but nothing consumed the set yet (an unread root):
+      // counting would force a sort the caller chose not to pay.
+      std::snprintf(buf, sizeof buf, "?");
+    }
+    out->append(" actual=").append(buf);
+    if (n.runtime.strategy != nullptr) {
+      out->append(" (").append(n.runtime.strategy).append(")");
+    }
+    if (n.op == PlanOp::kFixpointStar) {
+      std::snprintf(buf, sizeof buf, "%zu", n.runtime.rounds);
+      out->append(" rounds=").append(buf);
+      if (n.runtime.rounds > 0) {
+        std::snprintf(buf, sizeof buf, " (probe=%zu, hash=%zu)",
+                      n.runtime.probe_rounds, n.runtime.hash_rounds);
+        out->append(buf);
+      }
+    }
+  } else {
+    out->append(" actual=-");
+  }
+  out->append("\n");
+  for (const PlanPtr& c : n.children) Render(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root) {
+  std::string out;
+  Render(root, 0, &out);
+  return out;
+}
+
+}  // namespace plan
+}  // namespace trial

@@ -1,0 +1,274 @@
+// Physical plan IR: the costed operator tree every evaluator shares.
+//
+// The Triple Algebra (Section 3) is compositional, and so is its
+// execution here: a planner (planner.cc) lowers an algebra Expr tree —
+// typically after the optimizer.cc rewrites — into a small tree of
+// physical operators, one per algebra node:
+//
+//   IndexScan       E                (a stored relation, SPO order)
+//   EmptyRel / UniverseRel           (∅ and U)
+//   SelectFilter    σ_{θ,η}(e)       (indexed probe or filter scan)
+//   IndexProbeJoin  e ⋈ e            (probe the build side's permutation)
+//   HashJoin        e ⋈ e            (per-call hash table on key columns)
+//   UnionOp/MinusOp e ∪ e, e − e
+//   FixpointStar    (e ⋈)*, (⋈ e)*   (semi-naive delta iteration)
+//   ReachFastPath   reachTA= stars   (Procedures 3 / 4)
+//
+// Each node carries the planner's cardinality estimate and access-path
+// choice; the executor (plan_exec.cc) fills in actual row counts and
+// the strategy it really ran, so Explain() (explain.cc) can render
+// estimated-vs-actual side by side.  The per-join and per-fixpoint-round
+// probe-vs-hash cost rule that used to live inline in smart_eval.cc is
+// exported here (JoinPlan / ProbePlan / PreferIndexProbe), making the
+// decisions unit-testable and shared with the Datalog engine's
+// leading-atom matcher (BoundProbe / EstimateBoundMatches).
+//
+// Contract: executing the plan of an expression is byte-identical to the
+// pre-plan smart evaluator on every store and at every thread count —
+// the planner's predictions steer nothing at runtime except buffer
+// pre-sizing; the executor re-checks every cost rule against actual
+// cardinalities, exactly as the inline code did.
+
+#ifndef TRIAL_CORE_PLAN_PLAN_H_
+#define TRIAL_CORE_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/exec_limits.h"
+#include "core/expr.h"
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+namespace plan {
+
+// ---- shared access / cost primitives ----------------------------------
+
+/// Access-path costing: a range probe costs ~log2(|build|) comparisons
+/// per probe-side triple; a hash table costs ~|build| bucket inserts up
+/// front but O(1) lookups.  Probing wins when the probe side is much
+/// smaller than the build side (selective joins, late fixpoint deltas);
+/// the 4x factor absorbs the constant gap between a bucket insert and a
+/// binary-search step.  Takes doubles so planner estimates (which can
+/// exceed SIZE_MAX for U-subtrees) feed in without a narrowing cast;
+/// integral sizes convert exactly up to 2^53.
+bool PreferIndexProbe(double probe_count, double build_size);
+
+/// Expected rows of a probe that pins the columns flagged in `bound`:
+/// the relation size shrunk by each bound column's distinct count (the
+/// independence assumption used for the greedy Datalog atom order and
+/// the planner's selectivity math alike).
+double EstimateBoundMatches(const TripleSetStats& stats, const bool bound[3]);
+
+/// A bound-column access: up to three columns pinned to values.  The
+/// scan/probe primitive shared by SelectFilter, the join probe side and
+/// the Datalog atom matcher — any one or two bound columns are served
+/// as a contiguous permutation range (PlanAccess); a third is left to
+/// the caller's verification.
+struct BoundProbe {
+  int ncols = 0;
+  int col[3] = {0, 0, 0};
+  ObjId val[3] = {0, 0, 0};
+
+  void Bind(int column, ObjId v) {
+    col[ncols] = column;
+    val[ncols] = v;
+    ++ncols;
+  }
+
+  /// The access path serving the bound columns.
+  AccessPath Path() const {
+    bool b[3] = {false, false, false};
+    for (int i = 0; i < ncols && i < 3; ++i) b[col[i]] = true;
+    return PlanAccess(b[0], b[1], b[2]);
+  }
+
+  /// The matching range of `rel`: a full SPO scan when nothing is
+  /// bound, a Lookup / LookupPair prefix otherwise (a third bound
+  /// column is re-verified by the caller, never probed).
+  TripleRange Range(const TripleSet& rel) const {
+    if (ncols == 0) return rel.Scan(IndexOrder::kSPO);
+    if (ncols == 1) return rel.Lookup(col[0], val[0]);
+    return rel.LookupPair(col[0], val[0], col[1], val[1]);
+  }
+};
+
+/// A join execution plan: one-sided filters + cross equality key
+/// columns, split out of the (θ, η) condition.
+struct JoinPlan {
+  struct KeyComp {
+    Pos lpos;
+    Pos rpos;
+    bool data = false;  // compare rho() values instead of objects
+  };
+  std::vector<ObjConstraint> left_theta, right_theta;
+  std::vector<DataConstraint> left_eta, right_eta;
+  std::vector<KeyComp> key;
+  bool has_residual = false;  // any atom not covered by filters+exact keys
+
+  static JoinPlan Build(const CondSet& cond);
+
+  bool PassesLeft(const Triple& t, const TripleStore& store) const {
+    for (const ObjConstraint& c : left_theta) {
+      if (!c.Holds(t, t)) return false;
+    }
+    for (const DataConstraint& c : left_eta) {
+      if (!c.Holds(t, t, store)) return false;
+    }
+    return true;
+  }
+  bool PassesRight(const Triple& t, const TripleStore& store) const {
+    for (const ObjConstraint& c : right_theta) {
+      if (!c.Holds(t, t)) return false;
+    }
+    for (const DataConstraint& c : right_eta) {
+      if (!c.Holds(t, t, store)) return false;
+    }
+    return true;
+  }
+
+  uint64_t KeyHashLeft(const Triple& t, const TripleStore& store) const;
+  uint64_t KeyHashRight(const Triple& t, const TripleStore& store) const;
+};
+
+/// Index-probe plan: when the cross condition has exact object-column
+/// equalities, the build side of a join is consumed through its
+/// permutation indexes (sorted range probes) instead of a per-call hash
+/// table.  The permutation builds once — O(n log n), cached on the set
+/// and shared with the store's relation — where the hash table is
+/// rebuilt from scratch on every call.  Up to two distinct build-side
+/// columns are probed (any column pair is some permutation's sorted
+/// prefix, see PlanAccess); further keys are re-verified per candidate.
+struct ProbePlan {
+  int n = 0;                              // probed columns: 0 (use hash), 1, 2
+  int build_col[2] = {0, 0};              // column on the indexed side
+  Pos probe_pos[2] = {Pos::P1, Pos::P1};  // value source on the probe side
+
+  /// `build_right`: the right join argument is the indexed side.
+  static ProbePlan Build(const JoinPlan& plan, bool build_right);
+
+  /// The permutation this plan probes on the build side.
+  IndexOrder Order() const {
+    bool bind[3] = {false, false, false};
+    for (int i = 0; i < n; ++i) bind[build_col[i]] = true;
+    return PlanAccess(bind[0], bind[1], bind[2]).order;
+  }
+
+  /// Candidate range on the build side for probe-side triple `t`.
+  TripleRange Probe(const TripleSet& build, const Triple& t) const {
+    ObjId v0 = PosValue(t, t, probe_pos[0]);
+    if (n == 1) return build.Lookup(build_col[0], v0);
+    return build.LookupPair(build_col[0], v0, build_col[1],
+                            PosValue(t, t, probe_pos[1]));
+  }
+};
+
+// ---- the operator tree -------------------------------------------------
+
+/// Physical operator kinds, one per algebra node shape.
+enum class PlanOp : uint8_t {
+  kIndexScan,       ///< stored relation E
+  kEmptyRel,        ///< ∅
+  kUniverseRel,     ///< U over the store's active objects
+  kSelectFilter,    ///< σ_{θ,η}(child) — indexed probe or filter scan
+  kIndexProbeJoin,  ///< child ⋈ child, build side consumed via an index
+  kHashJoin,        ///< child ⋈ child, per-call hash table on the keys
+  kUnionOp,         ///< child ∪ child
+  kMinusOp,         ///< child − child
+  kFixpointStar,    ///< (child ⋈)* / (⋈ child)* — semi-naive iteration
+  kReachFastPath,   ///< reachTA= star — Procedure 3 or 4
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// What the executor actually did, filled during ExecutePlan and
+/// rendered by Explain() next to the planner's predictions.
+///
+/// Cardinalities are recorded only where counting is free: a child's
+/// rows are noted when its parent consumes (and thereby normalizes)
+/// the set — exactly where the pre-plan engine paid that sort — and
+/// the root's rows come from RecordRootRows, which the caller invokes
+/// only when it is about to read the result anyway.  TripleSets
+/// normalize lazily, and an engine-path caller that discards or
+/// forwards the result must not be forced to sort it just to fill in
+/// a diagnostic.
+struct PlanRuntime {
+  bool executed = false;
+  bool rows_known = false;  ///< actual_rows is valid
+  size_t actual_rows = 0;
+  /// The join/select path really taken ("probe", "hash", "index",
+  /// "scan"); null when the operator has no strategy choice.
+  const char* strategy = nullptr;
+  size_t rounds = 0;        ///< fixpoint rounds until saturation
+  size_t probe_rounds = 0;  ///< rounds whose delta probed the index
+  size_t hash_rounds = 0;   ///< rounds that fell back to the hash table
+};
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One physical operator.  Planner-owned fields are immutable after
+/// PlanExpr; `runtime` is written by ExecutePlan.
+struct PlanNode {
+  PlanOp op = PlanOp::kEmptyRel;
+
+  std::string rel_name;     ///< kIndexScan: the relation
+  JoinSpec spec;            ///< joins + stars; selections use spec.cond
+  bool star_right = true;   ///< kFixpointStar: (e ⋈)* vs (⋈ e)*
+  bool reach_same_middle = false;  ///< kReachFastPath: Procedure 4 vs 3
+
+  /// Predicted access path: the probed permutation for
+  /// kIndexProbeJoin / indexed kSelectFilter, kSPO otherwise.
+  AccessPath access;
+  /// Planner cardinality estimate (rows out of this operator).
+  double est_rows = 0;
+  /// Per-column distinct-value estimates of the output, used by parent
+  /// operators' selectivity math (exact stats for kIndexScan).
+  double est_distinct[3] = {0, 0, 0};
+
+  std::vector<PlanPtr> children;
+
+  PlanRuntime runtime;
+
+  /// Total node count of the subtree.
+  size_t TreeSize() const;
+};
+
+// ---- entry points ------------------------------------------------------
+
+/// Lowers a (validated) expression into a physical plan against
+/// `store`.  Never fails: an unknown relation plans as a zero-estimate
+/// scan and surfaces kNotFound at execution time, exactly as the
+/// evaluators always did.  Uses relations' cached stats when available
+/// (CachedStats) but never forces a permutation build — estimates are
+/// generic heuristics until something computes the real counts.
+PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store);
+
+/// Runs the tree, filling each node's `runtime`.  Re-entrant per node
+/// tree (a tree may be executed again; runtime is overwritten).  The
+/// result is byte-identical to the pre-plan smart evaluator for every
+/// thread count in `limits.exec`.  The root's actual cardinality is
+/// NOT recorded here (see PlanRuntime); call RecordRootRows before
+/// rendering Explain when you want it.
+Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
+                              const ExecLimits& limits = {});
+
+/// Records `result`'s cardinality on the root node for Explain.  This
+/// normalizes (sorts) the result if nothing has read it yet — call it
+/// only when you are about to consume the result anyway.
+void RecordRootRows(PlanNode& root, const TripleSet& result);
+
+/// Renders the tree, one operator per line, children indented, with
+/// estimated vs actual cardinalities:
+///
+///   HashJoin [1,2,3'; 3=1'] est=1.2e4 actual=11873 (hash)
+///     IndexScan E est=50000 actual=50000
+///     IndexScan E est=50000 actual=50000
+std::string Explain(const PlanNode& root);
+
+}  // namespace plan
+}  // namespace trial
+
+#endif  // TRIAL_CORE_PLAN_PLAN_H_

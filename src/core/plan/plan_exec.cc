@@ -1,0 +1,395 @@
+// The shared plan executor: runs a physical operator tree against a
+// store, dispatching every parallel kernel from one place.
+//
+// This is the former SmartEvaluator execution logic (hash/probe joins,
+// semi-naive fixpoints, Procedure 3/4 dispatch), lifted out of
+// smart_eval.cc so that every consumer — the smart engine shim, the
+// CLIs' EXPLAIN paths and the tests — runs the same code.  Results are
+// byte-identical to the pre-plan evaluator at every thread count: the
+// probe-vs-hash and per-round decisions are re-made here from *actual*
+// cardinalities with exactly the historical rules; the planner's
+// predictions only pre-size buffers and feed Explain().
+//
+// Each node's PlanRuntime is filled as it executes: actual output rows,
+// the strategy really taken, and fixpoint round counts.
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/eval.h"
+#include "core/fast_reach.h"
+#include "core/plan/plan.h"
+#include "util/parallel.h"
+
+namespace trial {
+namespace plan {
+namespace {
+
+// Parallel kernels flush per-chunk emit counts into the shared
+// result-size guard every this many outputs, so a runaway join aborts
+// promptly without contending on an atomic per triple.
+constexpr size_t kGuardStride = 4096;
+
+// Upper bound on the per-chunk reserve derived from a fixpoint's
+// estimated output cardinality (the planner's estimate is a hint, not a
+// promise — a wildly high star estimate must not balloon every chunk
+// buffer).  64Ki triples ≈ 768 KiB per chunk.
+constexpr size_t kMaxSegmentReserve = 64 * 1024;
+
+using TripleHashSet = std::unordered_set<Triple, TripleHash>;
+using HashIndex = std::unordered_map<uint64_t, std::vector<Triple>>;
+
+class Executor {
+ public:
+  Executor(const TripleStore& store, const ExecLimits& limits)
+      : store_(store), limits_(limits) {}
+
+  Result<TripleSet> Exec(PlanNode& n) {
+    n.runtime = PlanRuntime{};
+    Result<TripleSet> result = ExecNode(n);
+    if (result.ok()) n.runtime.executed = true;
+    return result;
+  }
+
+ private:
+  // Notes a child's actual cardinality right before its parent consumes
+  // the set.  size() normalizes, but the parent was about to do exactly
+  // that (probe loops, hash builds and set operations all read the
+  // sorted view), so no work is added that the pre-plan engine didn't
+  // pay at the same point.
+  static void NoteRows(PlanNode& n, const TripleSet& s) {
+    n.runtime.rows_known = true;
+    n.runtime.actual_rows = s.size();
+  }
+  Result<TripleSet> ExecNode(PlanNode& n) {
+    switch (n.op) {
+      case PlanOp::kIndexScan: {
+        const TripleSet* rel = store_.FindRelation(n.rel_name);
+        if (rel == nullptr) {
+          return Status::NotFound("unknown relation: " + n.rel_name);
+        }
+        return *rel;
+      }
+      case PlanOp::kEmptyRel:
+        return TripleSet();
+      case PlanOp::kUniverseRel:
+        return MaterializeUniverse(store_, limits_.max_result_triples);
+      case PlanOp::kSelectFilter: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet in, Exec(*n.children[0]));
+        NoteRows(*n.children[0], in);
+        return SelectIndexed(in, n.spec.cond, store_, &n.runtime.strategy);
+      }
+      case PlanOp::kUnionOp: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, Exec(*n.children[0]));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
+        NoteRows(*n.children[0], a);
+        NoteRows(*n.children[1], b);
+        return TripleSet::Union(a, b);
+      }
+      case PlanOp::kMinusOp: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, Exec(*n.children[0]));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
+        NoteRows(*n.children[0], a);
+        NoteRows(*n.children[1], b);
+        return TripleSet::Difference(a, b);
+      }
+      case PlanOp::kIndexProbeJoin:
+      case PlanOp::kHashJoin: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, Exec(*n.children[0]));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
+        NoteRows(*n.children[0], a);
+        NoteRows(*n.children[1], b);
+        return Join(n, a, b);
+      }
+      case PlanOp::kReachFastPath: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
+        NoteRows(*n.children[0], base);
+        n.runtime.strategy = n.reach_same_middle ? "procedure-4"
+                                                 : "procedure-3";
+        return n.reach_same_middle
+                   ? StarReachSameMiddle(base, limits_.exec)
+                   : StarReachAnyPath(base, limits_.exec);
+      }
+      case PlanOp::kFixpointStar: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
+        NoteRows(*n.children[0], base);
+        return SemiNaiveStar(n, base);
+      }
+    }
+    return Status::Internal("unknown plan operator");
+  }
+
+  // Join: filter both sides by their one-sided atoms, locate candidate
+  // partners for each left triple — by permutation-index range probe
+  // when the key has exact object columns, by hashing the right side
+  // otherwise — and verify the full condition on each candidate (covers
+  // hash collisions, data equalities and cross inequalities).  The
+  // probe loop over the left side is the parallel kernel (ProbeLoop).
+  Result<TripleSet> Join(PlanNode& n, const TripleSet& l, const TripleSet& r) {
+    JoinPlan plan = JoinPlan::Build(n.spec.cond);
+    const JoinSpec& spec = n.spec;
+    // Build the probe plan only when costing favors probing — planning
+    // a three-column key computes build-side stats, which would force
+    // the very index builds the hash path exists to avoid.  A one-shot
+    // join additionally requires the probed permutation to be free or
+    // amortized (store-backed build side): a fresh intermediate's cache
+    // dies with it, and a single probe pass never repays the sort.
+    ProbePlan probe;
+    if (PreferIndexProbe(l.size(), r.size())) {
+      probe = ProbePlan::Build(plan, /*build_right=*/true);
+      if (probe.n > 0 && !r.IndexAmortized(probe.Order())) probe.n = 0;
+    }
+    if (probe.n > 0) {
+      n.runtime.strategy = "probe";
+      // Materialize the probed permutation before concurrent probes:
+      // the lazy index build is single-writer.
+      r.Materialize(probe.Order());
+      return ProbeLoop(l, plan,
+                       [&](const Triple& a, std::vector<Triple>* out) {
+                         for (const Triple& b : probe.Probe(r, a)) {
+                           if (!spec.cond.Holds(a, b, store_)) continue;
+                           out->push_back(spec.Output(a, b));
+                         }
+                       });
+    }
+    n.runtime.strategy = "hash";
+    HashIndex index;
+    for (const Triple& b : r) {
+      if (plan.PassesRight(b, store_)) {
+        index[plan.KeyHashRight(b, store_)].push_back(b);
+      }
+    }
+    return ProbeLoop(l, plan,
+                     [&](const Triple& a, std::vector<Triple>* out) {
+                       auto it = index.find(plan.KeyHashLeft(a, store_));
+                       if (it == index.end()) return;
+                       for (const Triple& b : it->second) {
+                         if (!spec.cond.Holds(a, b, store_)) continue;
+                         out->push_back(spec.Output(a, b));
+                       }
+                     });
+  }
+
+  // The join probe loop: applies `match` (which appends verified output
+  // triples) to every left triple passing the one-sided filters.
+  // Parallel when the exec knobs allow: the left side is consumed
+  // through TripleSet's partition API — contiguous SPO slices, one
+  // private buffer each — and buffers merge in slice order, so the
+  // result is identical for any thread count (and the final TripleSet
+  // normalizes to sorted-unique regardless).  The result-size guard
+  // counts emitted candidates exactly like the serial loop; slices
+  // flush their counts every kGuardStride outputs and abort the
+  // remaining work once the limit trips.
+  template <typename Match>
+  Result<TripleSet> ProbeLoop(const TripleSet& l, const JoinPlan& plan,
+                              const Match& match) {
+    if (limits_.exec.ShouldParallelize(l.size())) {
+      size_t threads = limits_.exec.EffectiveThreads();
+      std::vector<TripleRange> slices =
+          l.Partitions(IndexOrder::kSPO, threads * kChunksPerThread);
+      std::vector<std::vector<Triple>> bufs(slices.size());
+      std::atomic<size_t> emitted{0};
+      std::atomic<bool> overflow{false};
+      ParallelFor(slices.size(), threads, [&](size_t c) {
+        std::vector<Triple>* out = &bufs[c];
+        size_t flushed = 0;
+        for (const Triple& a : slices[c]) {
+          if (overflow.load(std::memory_order_relaxed)) return;
+          if (!plan.PassesLeft(a, store_)) continue;
+          match(a, out);
+          if (out->size() - flushed >= kGuardStride) {
+            size_t total = emitted.fetch_add(out->size() - flushed,
+                                             std::memory_order_relaxed) +
+                           (out->size() - flushed);
+            flushed = out->size();
+            if (total > limits_.max_result_triples) {
+              overflow.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+        emitted.fetch_add(out->size() - flushed, std::memory_order_relaxed);
+      });
+      size_t total = 0;
+      for (const std::vector<Triple>& b : bufs) total += b.size();
+      if (overflow.load() || total > limits_.max_result_triples) {
+        return Status::ResourceExhausted("join result too large");
+      }
+      std::vector<Triple> merged;
+      merged.reserve(total);
+      for (std::vector<Triple>& b : bufs) {
+        merged.insert(merged.end(), b.begin(), b.end());
+      }
+      return TripleSet(std::move(merged));
+    }
+    std::vector<Triple> merged;
+    for (const Triple& a : l.triples()) {
+      if (!plan.PassesLeft(a, store_)) continue;
+      match(a, &merged);
+      if (merged.size() > limits_.max_result_triples) {
+        return Status::ResourceExhausted("join result too large");
+      }
+    }
+    return TripleSet(std::move(merged));
+  }
+
+  // Semi-naive fixpoint: only the last round's delta re-joins the fixed
+  // base.  Correct because ⋈ distributes over ∪ in each argument, so the
+  // term sequence t_{n+1} = t_n ⋈ e is covered by delta ⋈ e.
+  Result<TripleSet> SemiNaiveStar(PlanNode& n, const TripleSet& base) {
+    const JoinSpec& spec = n.spec;
+    const bool right = n.star_right;
+    JoinPlan plan = JoinPlan::Build(spec.cond);
+    // The fixed side — the right join argument for right stars, the
+    // left one for left stars — is probed every round.  With exact
+    // object keys its permutation index serves directly (built once,
+    // shared with the store's relation); the hash table is built lazily,
+    // only for rounds whose delta is too large for probing to pay off.
+    ProbePlan probe = ProbePlan::Build(plan, /*build_right=*/right);
+    HashIndex index;
+    bool hash_built = false;
+    auto build_hash = [&] {
+      for (const Triple& b : base) {
+        bool pass = right ? plan.PassesRight(b, store_)
+                          : plan.PassesLeft(b, store_);
+        if (!pass) continue;
+        uint64_t h = right ? plan.KeyHashRight(b, store_)
+                           : plan.KeyHashLeft(b, store_);
+        index[h].push_back(b);
+      }
+      hash_built = true;
+    };
+
+    TripleHashSet acc(base.begin(), base.end());
+    std::vector<Triple> delta(base.begin(), base.end());
+    std::vector<Triple> next;
+    // Candidate partners of one delta triple, pre-dedup: every
+    // fixed-side triple matching the join condition, in probe (or hash
+    // bucket) iteration order.  Read-only over base/index/plan, so the
+    // per-round delta expansion can run it from parallel workers.
+    auto candidates = [&](const Triple& d, bool use_probe,
+                          std::vector<Triple>* out) {
+      bool pass = right ? plan.PassesLeft(d, store_)
+                        : plan.PassesRight(d, store_);
+      if (!pass) return;
+      auto emit = [&](const Triple& b) {
+        const Triple& lt = right ? d : b;
+        const Triple& rt = right ? b : d;
+        if (!spec.cond.Holds(lt, rt, store_)) return;
+        out->push_back(spec.Output(lt, rt));
+      };
+      if (use_probe) {
+        for (const Triple& b : probe.Probe(base, d)) emit(b);
+      } else {
+        uint64_t h = right ? plan.KeyHashLeft(d, store_)
+                           : plan.KeyHashRight(d, store_);
+        auto it = index.find(h);
+        if (it == index.end()) return;
+        for (const Triple& b : it->second) emit(b);
+      }
+    };
+    // Folds candidate outputs into the accumulator in encounter order;
+    // false when the result-size guard trips.  Serial by design: the
+    // dedup against acc is the sequential tail of every round.
+    auto fold = [&](const std::vector<Triple>& cand) {
+      for (const Triple& o : cand) {
+        if (acc.insert(o).second) {
+          next.push_back(o);
+          if (acc.size() > limits_.max_result_triples) return false;
+        }
+      }
+      return true;
+    };
+    // Per-chunk segment buffers are pre-sized from the planner's output
+    // estimate, capped hard (kMaxSegmentReserve) so an optimistic star
+    // estimate costs bounded memory: the arbitrary-path star is
+    // output-bound superlinear, and re-growing every chunk buffer every
+    // round was measurable allocation churn.  Reserve only — contents
+    // and merge order are untouched, so results stay byte-identical.
+    size_t threads = limits_.exec.EffectiveThreads();
+    size_t reserve_hint = 0;
+    if (n.est_rows > 0) {
+      double per_chunk = n.est_rows / static_cast<double>(
+                                          threads * kChunksPerThread);
+      // Clamp in double before the cast: estimates compound without
+      // bound through key-less joins, and casting an out-of-range
+      // double to size_t is UB.
+      reserve_hint = static_cast<size_t>(std::min(
+          per_chunk + 16.0, static_cast<double>(kMaxSegmentReserve)));
+    }
+    std::vector<Triple> scratch;
+    for (size_t round = 0; round < limits_.max_rounds; ++round) {
+      next.clear();
+      bool use_probe =
+          probe.n > 0 && PreferIndexProbe(delta.size(), base.size());
+      if (!use_probe && !hash_built) build_hash();
+      n.runtime.rounds = round + 1;
+      if (use_probe) {
+        ++n.runtime.probe_rounds;
+      } else {
+        ++n.runtime.hash_rounds;
+      }
+      if (limits_.exec.ShouldParallelize(delta.size())) {
+        // Parallel delta expansion in bounded segments: each segment's
+        // candidates are generated in parallel (chunk buffers merged in
+        // order, so the concatenation equals the serial encounter
+        // order) and folded into the accumulator before the next
+        // segment starts.  Memory stays ~ one segment's match count,
+        // and the only guard is the serial one — accumulator growth —
+        // so success/failure is identical for every thread count.
+        if (use_probe) base.Materialize(probe.Order());
+        size_t segment = std::max(limits_.exec.min_parallel_items,
+                                  static_cast<size_t>(64 * 1024));
+        for (size_t sb = 0; sb < delta.size(); sb += segment) {
+          size_t count = std::min(segment, delta.size() - sb);
+          std::vector<Triple> cand = ParallelChunkedCollect<Triple>(
+              count, threads,
+              [&](size_t, size_t begin, size_t end,
+                  std::vector<Triple>* out) {
+                out->reserve(reserve_hint);
+                for (size_t i = begin; i < end; ++i) {
+                  candidates(delta[sb + i], use_probe, out);
+                }
+              });
+          if (!fold(cand)) {
+            return Status::ResourceExhausted("star result too large");
+          }
+        }
+      } else {
+        for (const Triple& d : delta) {
+          scratch.clear();
+          candidates(d, use_probe, &scratch);
+          if (!fold(scratch)) {
+            return Status::ResourceExhausted("star result too large");
+          }
+        }
+      }
+      if (next.empty()) {
+        std::vector<Triple> v(acc.begin(), acc.end());
+        return TripleSet(std::move(v));
+      }
+      delta.swap(next);
+    }
+    return Status::ResourceExhausted("star fixpoint exceeded round limit");
+  }
+
+  const TripleStore& store_;
+  const ExecLimits& limits_;
+};
+
+}  // namespace
+
+Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
+                              const ExecLimits& limits) {
+  return Executor(store, limits).Exec(root);
+}
+
+void RecordRootRows(PlanNode& root, const TripleSet& result) {
+  root.runtime.rows_known = true;
+  root.runtime.actual_rows = result.size();
+}
+
+}  // namespace plan
+}  // namespace trial

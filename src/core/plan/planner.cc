@@ -1,0 +1,291 @@
+// Lowering TriAL(*) algebra trees into the physical plan IR, with
+// cardinality estimation.
+//
+// Estimates use the classic independence heuristics over per-column
+// distinct counts — the exact TripleSet::Stats() values when a relation
+// has them cached, the rows^(2/3) uniform-cube fallback otherwise
+// (lowering never forces a permutation build; see CachedStats):
+//
+//   scan E                rows = |E|, distinct = exact stats
+//   σ const-equality      rows /= distinct[col]          (column pinned)
+//   σ col=col equality    rows /= max(d_a, d_b)
+//   η equality            rows *= 1/2                    (ρ is opaque)
+//   inequalities          rows *= 1                      (non-selective)
+//   join key column       rows = |L|·|R| / max(d_L, d_R) per exact key
+//   union / minus         a + b  /  a
+//   (e ⋈)* fixpoint       rows = 4·|e|                   (crude growth)
+//   reach fast path       rows = |e|·sqrt(d_o)  — the geometric middle
+//                         between no growth (|e|) and the complete
+//                         closure (|e|·|O|); the arbitrary-path star is
+//                         output-bound superlinear (see ROADMAP), so
+//                         this estimate is deliberately surfaced in
+//                         Explain() to make the blowup visible.
+//
+// Distinct counts of derived results default to rows^(2/3) per column (a
+// uniform-cube assumption); selections pin their constant columns to 1
+// and join/star outputs inherit the distinct count of the source
+// position of each output column.
+//
+// The probe-vs-hash prediction applies the same PreferIndexProbe rule
+// the executor re-checks at runtime, fed with estimated instead of
+// actual cardinalities, plus the same index-amortization gate: a probe
+// join is only predicted when the probed permutation is free (SPO) or
+// the build side is a store-backed IndexScan whose cache outlives the
+// query.  Prediction steers nothing — the executor re-decides from
+// actual sizes — but Explain() shows both, so a misprediction is
+// visible as "IndexProbeJoin ... (hash)".
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fragment.h"
+#include "core/plan/plan.h"
+
+namespace trial {
+namespace plan {
+namespace {
+
+// Running cardinality info during lowering.
+struct Card {
+  double rows = 0;
+  double distinct[3] = {0, 0, 0};
+};
+
+Card CardOf(const PlanNode& n) {
+  Card c;
+  c.rows = n.est_rows;
+  for (int i = 0; i < 3; ++i) c.distinct[i] = n.est_distinct[i];
+  return c;
+}
+
+void SetCard(PlanNode* n, const Card& c) {
+  n->est_rows = c.rows;
+  for (int i = 0; i < 3; ++i) {
+    n->est_distinct[i] = std::min(c.distinct[i], c.rows);
+  }
+}
+
+double DefaultDistinct(double rows) {
+  return rows <= 1 ? rows : std::pow(rows, 2.0 / 3.0);
+}
+
+// Selectivity of a unary condition applied to `card` (selections, and
+// the one-sided filter atoms of a join side).  Mirrors the routing of
+// SelectIndexed / JoinPlan: constant equalities pin a column, column
+// equalities use 1/max(d,d'), η equalities halve, inequalities pass.
+void ApplyUnaryCond(const std::vector<ObjConstraint>& theta,
+                    const std::vector<DataConstraint>& eta, Card* card) {
+  for (const ObjConstraint& c : theta) {
+    if (!c.equal) continue;
+    if (c.lhs.is_pos != c.rhs.is_pos) {
+      int col = PosColumn(c.lhs.is_pos ? c.lhs.pos : c.rhs.pos);
+      double d = std::max(card->distinct[col], 1.0);
+      card->rows /= d;
+      card->distinct[col] = 1;
+    } else if (c.lhs.is_pos && c.rhs.is_pos) {
+      int a = PosColumn(c.lhs.pos), b = PosColumn(c.rhs.pos);
+      if (a == b) continue;  // trivially true, no shrink
+      card->rows /= std::max({card->distinct[a], card->distinct[b], 1.0});
+    }
+    // constant=constant: either trivial or empty; the optimizer folds
+    // these away, leave the estimate unchanged.
+  }
+  for (const DataConstraint& c : eta) {
+    if (c.equal) card->rows *= 0.5;
+  }
+  for (int i = 0; i < 3; ++i) {
+    card->distinct[i] = std::min(card->distinct[i], std::max(card->rows, 1.0));
+  }
+}
+
+// Splits the unary atoms of a join condition per side and returns the
+// filtered per-side cardinalities.
+void FilteredSides(const JoinPlan& jp, const Card& l, const Card& r,
+                   Card* lf, Card* rf) {
+  *lf = l;
+  *rf = r;
+  ApplyUnaryCond(jp.left_theta, jp.left_eta, lf);
+  ApplyUnaryCond(jp.right_theta, jp.right_eta, rf);
+}
+
+// Distinct estimate of join-output column `p` drawn from the filtered
+// side cards.
+double SourceDistinct(Pos p, const Card& l, const Card& r) {
+  const Card& side = IsLeftPos(p) ? l : r;
+  return side.distinct[PosColumn(p)];
+}
+
+class Planner {
+ public:
+  explicit Planner(const TripleStore& store) : store_(store) {}
+
+  PlanPtr Lower(const Expr& e) {
+    PlanPtr node = std::make_unique<PlanNode>();
+    switch (e.kind()) {
+      case ExprKind::kRel: {
+        node->op = PlanOp::kIndexScan;
+        node->rel_name = e.rel_name();
+        Card c;
+        if (const TripleSet* rel = store_.FindRelation(e.rel_name())) {
+          c.rows = static_cast<double>(rel->size());
+          // Use the exact distinct counts only when they are already
+          // cached: Stats() builds every permutation, and forcing
+          // O(n log n) index builds for a query that may never probe
+          // them is exactly what the executor's amortization gate
+          // exists to avoid.  Without stats the estimates fall back to
+          // the uniform-cube heuristic and sharpen once any consumer
+          // (EXPLAIN warm-up, the Datalog atom orderer, a probe) has
+          // computed the real counts.
+          if (const TripleSetStats* stats = rel->CachedStats()) {
+            for (int i = 0; i < 3; ++i) {
+              c.distinct[i] = static_cast<double>(stats->distinct[i]);
+            }
+          } else {
+            for (int i = 0; i < 3; ++i) c.distinct[i] = DefaultDistinct(c.rows);
+          }
+        }
+        // Unknown relation: zero estimate; execution reports kNotFound.
+        SetCard(node.get(), c);
+        return node;
+      }
+      case ExprKind::kEmpty:
+        node->op = PlanOp::kEmptyRel;
+        return node;
+      case ExprKind::kUniverse: {
+        node->op = PlanOp::kUniverseRel;
+        double n = static_cast<double>(store_.NumObjects());
+        Card c;
+        c.rows = n * n * n;
+        c.distinct[0] = c.distinct[1] = c.distinct[2] = n;
+        SetCard(node.get(), c);
+        return node;
+      }
+      case ExprKind::kSelect: {
+        node->op = PlanOp::kSelectFilter;
+        node->spec.cond = e.select_cond();
+        PlanPtr child = Lower(*e.left());
+        Card c = CardOf(*child);
+        ApplyUnaryCond(node->spec.cond.theta, node->spec.cond.eta, &c);
+        // Predicted access path: columns pinned by constant equalities
+        // probe the child's permutations when the build amortizes —
+        // free for SPO, shared with the store for an IndexScan child.
+        bool bind[3] = {false, false, false};
+        for (const ObjConstraint& oc : node->spec.cond.theta) {
+          if (oc.equal && oc.lhs.is_pos != oc.rhs.is_pos) {
+            bind[PosColumn(oc.lhs.is_pos ? oc.lhs.pos : oc.rhs.pos)] = true;
+          }
+        }
+        node->access = PlanAccess(bind[0], bind[1], bind[2]);
+        bool any = bind[0] || bind[1] || bind[2];
+        bool amortized = node->access.order == IndexOrder::kSPO ||
+                         child->op == PlanOp::kIndexScan;
+        if (!any || !amortized) node->access = AccessPath{};
+        node->children.push_back(std::move(child));
+        SetCard(node.get(), c);
+        return node;
+      }
+      case ExprKind::kUnion:
+      case ExprKind::kDiff: {
+        node->op = e.kind() == ExprKind::kUnion ? PlanOp::kUnionOp
+                                                : PlanOp::kMinusOp;
+        PlanPtr a = Lower(*e.left());
+        PlanPtr b = Lower(*e.right());
+        Card ca = CardOf(*a), cb = CardOf(*b), c;
+        if (e.kind() == ExprKind::kUnion) {
+          c.rows = ca.rows + cb.rows;
+          for (int i = 0; i < 3; ++i) {
+            c.distinct[i] = ca.distinct[i] + cb.distinct[i];
+          }
+        } else {
+          c = ca;  // e − e' is at most e
+        }
+        node->children.push_back(std::move(a));
+        node->children.push_back(std::move(b));
+        SetCard(node.get(), c);
+        return node;
+      }
+      case ExprKind::kJoin: {
+        node->spec = e.join_spec();
+        PlanPtr l = Lower(*e.left());
+        PlanPtr r = Lower(*e.right());
+        JoinPlan jp = JoinPlan::Build(node->spec.cond);
+        Card cl = CardOf(*l), cr = CardOf(*r);
+        Card lf, rf;
+        FilteredSides(jp, cl, cr, &lf, &rf);
+        Card c;
+        c.rows = lf.rows * rf.rows;
+        for (const JoinPlan::KeyComp& k : jp.key) {
+          if (k.data) {
+            c.rows *= 0.5;
+          } else {
+            c.rows /= std::max({lf.distinct[PosColumn(k.lpos)],
+                                rf.distinct[PosColumn(k.rpos)], 1.0});
+          }
+        }
+        for (int i = 0; i < 3; ++i) {
+          double d = SourceDistinct(node->spec.out[i], lf, rf);
+          c.distinct[i] = d > 0 ? d : DefaultDistinct(c.rows);
+        }
+        // Probe-vs-hash prediction: the executor's rule on estimates,
+        // plus the amortization gate it applies to the build side.
+        // Deliberately fed the *unfiltered* child cardinalities — the
+        // executor decides from l.size()/r.size() before any one-sided
+        // filtering — so with exact estimates the prediction matches
+        // the executed strategy, and an EXPLAIN mismatch indicates an
+        // estimation error rather than a formula difference.
+        ProbePlan pp = ProbePlan::Build(jp, /*build_right=*/true);
+        bool probe = pp.n > 0 && PreferIndexProbe(cl.rows, cr.rows) &&
+                     (pp.Order() == IndexOrder::kSPO ||
+                      r->op == PlanOp::kIndexScan);
+        node->op = probe ? PlanOp::kIndexProbeJoin : PlanOp::kHashJoin;
+        if (probe) node->access = AccessPath{pp.Order(), pp.n};
+        node->children.push_back(std::move(l));
+        node->children.push_back(std::move(r));
+        SetCard(node.get(), c);
+        return node;
+      }
+      case ExprKind::kStarRight:
+      case ExprKind::kStarLeft: {
+        node->spec = e.join_spec();
+        node->star_right = e.kind() == ExprKind::kStarRight;
+        PlanPtr base = Lower(*e.left());
+        Card cb = CardOf(*base), c;
+        bool reach_a = node->star_right && IsReachSpecA(node->spec);
+        bool reach_b = node->star_right && IsReachSpecB(node->spec);
+        if (reach_a || reach_b) {
+          node->op = PlanOp::kReachFastPath;
+          node->reach_same_middle = reach_b;
+          c.rows = cb.rows * std::sqrt(std::max(cb.distinct[2], 1.0));
+        } else {
+          node->op = PlanOp::kFixpointStar;
+          // Probed permutation of the fixed side for small deltas.
+          JoinPlan jp = JoinPlan::Build(node->spec.cond);
+          ProbePlan pp = ProbePlan::Build(jp, node->star_right);
+          if (pp.n > 0) node->access = AccessPath{pp.Order(), pp.n};
+          c.rows = cb.rows * 4.0;
+        }
+        for (int i = 0; i < 3; ++i) {
+          double d = SourceDistinct(node->spec.out[i], cb, cb);
+          c.distinct[i] = d > 0 ? d : DefaultDistinct(c.rows);
+        }
+        node->children.push_back(std::move(base));
+        SetCard(node.get(), c);
+        return node;
+      }
+    }
+    node->op = PlanOp::kEmptyRel;  // unreachable
+    return node;
+  }
+
+ private:
+  const TripleStore& store_;
+};
+
+}  // namespace
+
+PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store) {
+  return Planner(store).Lower(*e);
+}
+
+}  // namespace plan
+}  // namespace trial

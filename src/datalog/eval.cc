@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/eval.h"
+#include "core/plan/plan.h"
 #include "datalog/analysis.h"
 
 namespace trial {
@@ -105,24 +106,20 @@ class RuleEvaluator {
   }
 
   // Expected number of matching triples for `atom` when the variables
-  // in `bound` (plus all constants) are fixed: the relation's size
-  // shrunk by each bound column's distinct-value count, i.e. the
-  // expected size of the index range the matcher will probe.
+  // in `bound` (plus all constants) are fixed — the planner's shared
+  // bound-column estimate, i.e. the expected size of the index range
+  // the matcher will probe.
   double EstimateAtomMatches(const Atom& atom,
                              const std::set<std::string>& bound) const {
     Status st = Status::OK();
     const TripleSet* rel = RelationOf(atom.pred, &st);
     if (rel == nullptr) return 0;
-    const TripleSetStats& stats = rel->Stats();
-    double est = static_cast<double>(stats.num_triples);
+    bool is_bound[3];
     for (int i = 0; i < 3; ++i) {
       const Term& t = atom.args[i];
-      bool is_bound = t.is_var ? bound.count(t.name) > 0 : true;
-      if (is_bound && stats.distinct[i] > 0) {
-        est /= static_cast<double>(stats.distinct[i]);
-      }
+      is_bound[i] = t.is_var ? bound.count(t.name) > 0 : true;
     }
-    return est;
+    return plan::EstimateBoundMatches(rel->Stats(), is_bound);
   }
 
   // Greedy static join order: repeatedly place the atom with the
@@ -162,18 +159,17 @@ class RuleEvaluator {
   }
 
   // The index range matching `atom` under `env`: columns whose
-  // argument is fixed (a constant, or a variable already bound) probe
-  // the relation's permutation indexes; any pair of bound columns is
-  // some permutation's sorted prefix, a third is re-checked by Unify.
+  // argument is fixed (a constant, or a variable already bound) bind a
+  // plan::BoundProbe — the same scan/probe primitive the plan
+  // executor's operators use — so any pair of bound columns is some
+  // permutation's sorted prefix, a third is re-checked by Unify.
   // Sets *empty_match when a constant is unknown to the store (the
   // atom then matches nothing).  Shared by the serial matcher and the
   // parallel driver so both always iterate the same range.
   TripleRange AtomRange(const Atom& atom, const Env& env,
                         const TripleSet& rel, bool* empty_match) const {
     *empty_match = false;
-    int bcol[3];
-    ObjId bval[3];
-    int nb = 0;
+    plan::BoundProbe probe;
     for (int c = 0; c < 3; ++c) {
       const Term& term = atom.args[c];
       std::optional<ObjId> v;
@@ -187,15 +183,9 @@ class RuleEvaluator {
         }
         v = id;
       }
-      if (v.has_value()) {
-        bcol[nb] = c;
-        bval[nb] = *v;
-        ++nb;
-      }
+      if (v.has_value()) probe.Bind(c, *v);
     }
-    if (nb == 0) return rel.Scan(IndexOrder::kSPO);
-    if (nb == 1) return rel.Lookup(bcol[0], bval[0]);
-    return rel.LookupPair(bcol[0], bval[0], bcol[1], bval[1]);
+    return probe.Range(rel);
   }
 
   // Drives the positive-atom matcher over the whole rule.  With
@@ -401,7 +391,7 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
       for (size_t i : rule_idx) {
         TRIAL_RETURN_IF_ERROR(ev.EvalRule(program.rules[i], &value));
       }
-      if (value.size() > opts.max_derived_triples) {
+      if (value.size() > opts.max_result_triples) {
         return Status::ResourceExhausted("predicate " + pred + " too large");
       }
       idb.emplace(pred, std::move(value));
@@ -409,7 +399,7 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
       // Least fixpoint: iterate the predicate's rules until saturation.
       idb.emplace(pred, TripleSet());
       for (size_t round = 0;; ++round) {
-        if (round >= opts.max_fixpoint_rounds) {
+        if (round >= opts.max_rounds) {
           return Status::ResourceExhausted("fixpoint exceeded round limit");
         }
         TripleSet value;
@@ -417,7 +407,7 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
         for (size_t i : rule_idx) {
           TRIAL_RETURN_IF_ERROR(ev.EvalRule(program.rules[i], &value));
         }
-        if (value.size() > opts.max_derived_triples) {
+        if (value.size() > opts.max_result_triples) {
           return Status::ResourceExhausted("predicate " + pred +
                                            " too large");
         }

@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "core/exec_limits.h"
 #include "datalog/ast.h"
 #include "storage/triple_store.h"
 #include "util/parallel.h"
@@ -21,16 +22,13 @@
 namespace trial {
 namespace datalog {
 
-/// Evaluation limits.
-struct DatalogOptions {
-  size_t max_derived_triples = 50'000'000;
-  size_t max_fixpoint_rounds = 10'000'000;
-  /// Parallel execution knobs: each (fixpoint round's) rule evaluation
-  /// chunks the leading positive atom's match range over the thread
-  /// pool, with per-chunk derivation buffers merged in chunk order —
-  /// derived relations are identical for every thread count.
-  ExecOptions exec;
-};
+/// Evaluation limits: the shared ExecLimits (max_result_triples caps
+/// every derived predicate, max_rounds caps fixpoint iteration, exec
+/// carries the parallel knobs).  Each (fixpoint round's) rule
+/// evaluation chunks the leading positive atom's match range over the
+/// thread pool, with per-chunk derivation buffers merged in chunk
+/// order — derived relations are identical for every thread count.
+struct DatalogOptions : ExecLimits {};
 
 /// Evaluates the program; returns the value of `answer_pred`.
 Result<TripleSet> EvalProgram(const Program& program,

@@ -130,6 +130,16 @@ class TripleSet {
   /// Per-column stats for access-path costing.  Builds all permutations.
   const TripleSetStats& Stats() const;
 
+  /// The cached stats when already computed, nullptr otherwise — never
+  /// forces a permutation build.  Planner estimates degrade to generic
+  /// heuristics instead of paying O(n log n) builds a query may never
+  /// need; once anything calls Stats() the exact counts appear.
+  const TripleSetStats* CachedStats() const {
+    return staged_.empty() && cache_ != nullptr && cache_->stats_built
+               ? &cache_->stats
+               : nullptr;
+  }
+
   /// Set union / difference / intersection (merge on sorted vectors).
   static TripleSet Union(const TripleSet& a, const TripleSet& b);
   static TripleSet Difference(const TripleSet& a, const TripleSet& b);

@@ -9,6 +9,7 @@
 #include "core/eval.h"
 #include "core/fast_reach.h"
 #include "core/optimizer.h"
+#include "core/plan/plan.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -173,12 +174,17 @@ TEST(EngineEquivalenceSkewed, AllEnginesAgreeOnZipfStores) {
 // their parallel branches even on tiny stores, results are identical
 // for 1, 2 and 4 threads (and to the stock serial engine) across
 // random TriAL expressions, stars included, on Zipf-skewed stores.
-TEST(ParallelInvariance, SmartEngineResultsAreThreadCountInvariant) {
-  auto make = [](size_t threads) {
-    EvalOptions opts;
-    opts.exec.num_threads = threads;
-    opts.exec.min_parallel_items = 1;
-    return MakeSmartEvaluator(opts);
+// The threaded evaluations run through the plan executor directly —
+// plan::PlanExpr + plan::ExecutePlan, the code path the smart engine
+// shims to — so the invariance property is pinned to the plan layer.
+TEST(ParallelInvariance, PlanExecutorResultsAreThreadCountInvariant) {
+  auto eval_plan = [](const ExprPtr& e, const TripleStore& store,
+                      size_t threads) {
+    ExecLimits limits;
+    limits.exec.num_threads = threads;
+    limits.exec.min_parallel_items = 1;
+    plan::PlanPtr p = plan::PlanExpr(e, store);
+    return plan::ExecutePlan(*p, store, limits);
   };
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     Rng rng(seed * 733 + 7);
@@ -192,15 +198,12 @@ TEST(ParallelInvariance, SmartEngineResultsAreThreadCountInvariant) {
     TripleStore store = RandomTripleStore(opts);
 
     auto serial = MakeSmartEvaluator();  // stock defaults: serial path
-    auto t1 = make(1);
-    auto t2 = make(2);
-    auto t4 = make(4);
     for (int i = 0; i < 8; ++i) {
       ExprPtr e = RandomExpr(&rng, 3, /*allow_star=*/true);
       auto r0 = serial->Eval(e, store);
-      auto r1 = t1->Eval(e, store);
-      auto r2 = t2->Eval(e, store);
-      auto r4 = t4->Eval(e, store);
+      auto r1 = eval_plan(e, store, 1);
+      auto r2 = eval_plan(e, store, 2);
+      auto r4 = eval_plan(e, store, 4);
       ASSERT_TRUE(r0.ok()) << r0.status().ToString() << "\n" << e->ToString();
       ASSERT_TRUE(r1.ok()) << r1.status().ToString();
       ASSERT_TRUE(r2.ok()) << r2.status().ToString();

@@ -1,0 +1,389 @@
+// The physical plan layer: planner lowering and cost decisions (golden
+// tests on Zipf-skewed stores), the Explain renderer, the shared
+// scan/probe primitives, and the contract that plan execution is
+// byte-identical to the evaluators at every thread count.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "core/plan/plan.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace trial {
+namespace plan {
+namespace {
+
+// A Zipf-skewed store big enough that the probe-vs-hash costing rule
+// has a real gap between selective and unselective sides.  Stats are
+// warmed so the golden tests assert on exact distinct counts — the
+// same state an EXPLAIN user sees (the CLIs warm stats explicitly; the
+// planner alone never forces the builds, see PlanningDoesNotForceIndexBuilds).
+TripleStore SkewedStore(size_t triples, uint64_t seed = 11) {
+  RandomStoreOptions opts;
+  opts.num_objects = triples / 4 + 8;
+  opts.num_triples = triples;
+  opts.zipf_p = 1.3;
+  opts.zipf_o = 0.8;
+  opts.seed = seed;
+  TripleStore store = RandomTripleStore(opts);
+  for (RelId r = 0; r < store.NumRelations(); ++r) store.RelationStats(r);
+  return store;
+}
+
+ExprPtr CompositionJoin(ExprPtr l, ExprPtr r) {
+  return Expr::Join(std::move(l), std::move(r),
+                    Spec(Pos::P1, Pos::P2, Pos::P3p, {Eq(Pos::P3, Pos::P1p)}));
+}
+
+// ---- planner golden tests ---------------------------------------------
+
+TEST(PlannerGolden, SelectiveLeftSidePredictsIndexProbeJoin) {
+  TripleStore store = SkewedStore(4096);
+  // A constant-pinned left side is tiny; probing E's SPO base (join key
+  // 3=1' binds the build-side subject) must beat hashing all of E.
+  ExprPtr e = CompositionJoin(
+      Expr::Select(Expr::Rel("E"), Where({EqConst(Pos::P3, 3)})),
+      Expr::Rel("E"));
+  PlanPtr p = PlanExpr(e, store);
+  EXPECT_EQ(p->op, PlanOp::kIndexProbeJoin) << Explain(*p);
+  EXPECT_EQ(p->access.order, IndexOrder::kSPO) << Explain(*p);
+  EXPECT_EQ(p->children[0]->op, PlanOp::kSelectFilter);
+  EXPECT_EQ(p->children[1]->op, PlanOp::kIndexScan);
+  // The selection estimate must be far below the scan estimate.
+  EXPECT_LT(p->children[0]->est_rows, p->children[1]->est_rows / 4);
+}
+
+TEST(PlannerGolden, UniformSelfJoinPredictsHashJoin) {
+  TripleStore store = SkewedStore(4096);
+  // Neither side is selective: |L| log |R| ≫ 4|R|, so hashing wins.
+  ExprPtr e = CompositionJoin(Expr::Rel("E"), Expr::Rel("E"));
+  PlanPtr p = PlanExpr(e, store);
+  EXPECT_EQ(p->op, PlanOp::kHashJoin) << Explain(*p);
+}
+
+TEST(PlannerGolden, IndexOrderFollowsBuildSideKeyColumns) {
+  TripleStore store = SkewedStore(4096);
+  ExprPtr small = Expr::Select(Expr::Rel("E"), Where({EqConst(Pos::P3, 3)}));
+  struct Case {
+    ObjConstraint key;
+    IndexOrder want;
+  };
+  // The probed permutation is the one whose sorted prefix serves the
+  // build-side key column(s): 1' -> SPO, 2' -> POS, 3' -> OSP.
+  for (const Case& c : {Case{Eq(Pos::P3, Pos::P1p), IndexOrder::kSPO},
+                        Case{Eq(Pos::P3, Pos::P2p), IndexOrder::kPOS},
+                        Case{Eq(Pos::P3, Pos::P3p), IndexOrder::kOSP}}) {
+    ExprPtr e = Expr::Join(small, Expr::Rel("E"),
+                           Spec(Pos::P1, Pos::P2, Pos::P3p, {c.key}));
+    PlanPtr p = PlanExpr(e, store);
+    ASSERT_EQ(p->op, PlanOp::kIndexProbeJoin) << Explain(*p);
+    EXPECT_EQ(p->access.order, c.want) << Explain(*p);
+  }
+  // A bound (subject, predicate) pair on the build side is an SPO
+  // prefix — no permutation build needed.
+  ExprPtr pair = Expr::Join(
+      small, Expr::Rel("E"),
+      Spec(Pos::P1, Pos::P2, Pos::P3p,
+           {Eq(Pos::P3, Pos::P1p), Eq(Pos::P2, Pos::P2p)}));
+  PlanPtr p = PlanExpr(pair, store);
+  ASSERT_EQ(p->op, PlanOp::kIndexProbeJoin) << Explain(*p);
+  EXPECT_EQ(p->access.order, IndexOrder::kSPO) << Explain(*p);
+  EXPECT_EQ(p->access.prefix, 2);
+}
+
+TEST(PlannerGolden, SelectionAccessPathTracksBoundColumns) {
+  TripleStore store = SkewedStore(2048);
+  // Predicate pinned on a store-backed scan: POS probe predicted.
+  PlanPtr p = PlanExpr(
+      Expr::Select(Expr::Rel("E"), Where({EqConst(Pos::P2, 2)})), store);
+  EXPECT_EQ(p->op, PlanOp::kSelectFilter);
+  EXPECT_EQ(p->access.order, IndexOrder::kPOS);
+  EXPECT_GT(p->access.prefix, 0);
+  // The same selection over a fresh intermediate (union) does not
+  // amortize a POS build; the planner predicts a filter scan.
+  PlanPtr q = PlanExpr(
+      Expr::Select(Expr::Union(Expr::Rel("E"), Expr::Rel("E")),
+                   Where({EqConst(Pos::P2, 2)})),
+      store);
+  EXPECT_EQ(q->access.prefix, 0);
+}
+
+TEST(PlannerGolden, ReachStarsLowerToFastPath) {
+  TripleStore store = SkewedStore(512);
+  PlanPtr a = PlanExpr(ReachAnyPath(Expr::Rel("E")), store);
+  ASSERT_EQ(a->op, PlanOp::kReachFastPath);
+  EXPECT_FALSE(a->reach_same_middle);
+  // The reach estimate must exceed the base: the arbitrary-path star is
+  // output-bound superlinear, and the estimate makes that visible.
+  EXPECT_GT(a->est_rows, a->children[0]->est_rows);
+
+  PlanPtr b = PlanExpr(ReachSameMiddle(Expr::Rel("E")), store);
+  ASSERT_EQ(b->op, PlanOp::kReachFastPath);
+  EXPECT_TRUE(b->reach_same_middle);
+
+  // A non-reach spec stays a generic fixpoint with a probe order for
+  // the fixed side.
+  PlanPtr c = PlanExpr(
+      Expr::StarRight(Expr::Rel("E"),
+                      Spec(Pos::P1, Pos::P2p, Pos::P3p,
+                           {Eq(Pos::P3, Pos::P1p)})),
+      store);
+  ASSERT_EQ(c->op, PlanOp::kFixpointStar);
+  EXPECT_EQ(c->access.order, IndexOrder::kSPO);
+  EXPECT_GT(c->est_rows, c->children[0]->est_rows);
+}
+
+TEST(PlannerGolden, PlanningDoesNotForceIndexBuilds) {
+  // Lowering must never pay the O(n log n) permutation builds a query
+  // may not need — estimates stay heuristic until someone computes
+  // real stats (the executor's amortization gate owns that decision).
+  RandomStoreOptions opts;
+  opts.num_objects = 200;
+  opts.num_triples = 800;
+  opts.seed = 3;
+  TripleStore store = RandomTripleStore(opts);
+  const TripleSet* rel = store.FindRelation("E");
+  ASSERT_EQ(rel->CachedStats(), nullptr);
+  PlanPtr p = PlanExpr(CompositionJoin(Expr::Rel("E"), Expr::Rel("E")), store);
+  EXPECT_EQ(rel->CachedStats(), nullptr) << "planning built an index";
+  EXPECT_GT(p->est_rows, 0);
+  // Exact stats sharpen the estimate once computed.
+  rel->Stats();
+  PlanPtr q = PlanExpr(CompositionJoin(Expr::Rel("E"), Expr::Rel("E")), store);
+  EXPECT_NE(rel->CachedStats(), nullptr);
+  EXPECT_GT(q->est_rows, 0);
+}
+
+TEST(PlannerGolden, UnknownRelationPlansAndFailsAtExecution) {
+  TripleStore store = SkewedStore(64);
+  PlanPtr p = PlanExpr(CompositionJoin(Expr::Rel("E"), Expr::Rel("nope")),
+                       store);
+  EXPECT_EQ(p->children[1]->est_rows, 0);
+  auto r = ExecutePlan(*p, store);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ---- explain rendering -------------------------------------------------
+
+TEST(ExplainRender, ShowsEstimatedThenActualRows) {
+  TripleStore store = SkewedStore(512);
+  ExprPtr e = CompositionJoin(Expr::Rel("E"), Expr::Rel("E"));
+  PlanPtr p = PlanExpr(e, store);
+  std::string before = Explain(*p);
+  EXPECT_NE(before.find("HashJoin"), std::string::npos) << before;
+  EXPECT_NE(before.find("est="), std::string::npos);
+  EXPECT_NE(before.find("actual=-"), std::string::npos);
+
+  auto r = ExecutePlan(*p, store);
+  ASSERT_TRUE(r.ok());
+  // An unread root renders "actual=?" — counting it would force the
+  // result's normalization, which is the consumer's call to make.
+  EXPECT_NE(Explain(*p).find("actual=?"), std::string::npos) << Explain(*p);
+  RecordRootRows(*p, *r);
+  std::string after = Explain(*p);
+  EXPECT_EQ(after.find("actual=-"), std::string::npos) << after;
+  EXPECT_EQ(after.find("actual=?"), std::string::npos) << after;
+  char want[64];
+  std::snprintf(want, sizeof want, "actual=%zu", r->size());
+  EXPECT_NE(after.find(want), std::string::npos) << after;
+  EXPECT_NE(after.find("(hash)"), std::string::npos) << after;
+  // Children render indented under the join.
+  EXPECT_NE(after.find("\n  IndexScan E"), std::string::npos) << after;
+}
+
+TEST(ExplainRender, FixpointRoundsAreReported) {
+  TripleStore store = SkewedStore(256);
+  PlanPtr p = PlanExpr(
+      Expr::StarRight(Expr::Rel("E"),
+                      Spec(Pos::P1, Pos::P2p, Pos::P3p,
+                           {Eq(Pos::P3, Pos::P1p)})),
+      store);
+  ASSERT_TRUE(ExecutePlan(*p, store).ok());
+  EXPECT_GE(p->runtime.rounds, 1u);
+  EXPECT_EQ(p->runtime.rounds,
+            p->runtime.probe_rounds + p->runtime.hash_rounds);
+  EXPECT_NE(Explain(*p).find("rounds="), std::string::npos) << Explain(*p);
+}
+
+// ---- shared primitives -------------------------------------------------
+
+TEST(BoundProbeTest, MatchesAccessPathApi) {
+  TripleStore store = SkewedStore(1024);
+  const TripleSet& rel = *store.FindRelation("E");
+  ObjId s = rel.begin()->s, p = rel.begin()->p;
+
+  BoundProbe none;
+  EXPECT_EQ(none.Range(rel).size(), rel.size());
+
+  BoundProbe one;
+  one.Bind(1, p);
+  EXPECT_EQ(one.Path().order, IndexOrder::kPOS);
+  TripleRange r1 = one.Range(rel);
+  EXPECT_EQ(r1.size(), rel.Lookup(1, p).size());
+
+  BoundProbe two;
+  two.Bind(0, s);
+  two.Bind(1, p);
+  EXPECT_EQ(two.Path().order, IndexOrder::kSPO);
+  EXPECT_EQ(two.Path().prefix, 2);
+  EXPECT_EQ(two.Range(rel).size(), rel.LookupPair(0, s, 1, p).size());
+}
+
+TEST(EstimateBoundMatchesTest, ShrinksByDistinctCounts) {
+  TripleSetStats stats;
+  stats.num_triples = 1000;
+  stats.distinct[0] = 100;
+  stats.distinct[1] = 10;
+  stats.distinct[2] = 500;
+  bool none[3] = {false, false, false};
+  EXPECT_DOUBLE_EQ(EstimateBoundMatches(stats, none), 1000.0);
+  bool p_only[3] = {false, true, false};
+  EXPECT_DOUBLE_EQ(EstimateBoundMatches(stats, p_only), 100.0);
+  bool sp[3] = {true, true, false};
+  EXPECT_DOUBLE_EQ(EstimateBoundMatches(stats, sp), 1.0);
+}
+
+TEST(CostRule, PreferIndexProbeCrossover) {
+  // Tiny probe side vs large build: probe.  Equal sides at scale: hash.
+  EXPECT_TRUE(PreferIndexProbe(4, 100000));
+  EXPECT_FALSE(PreferIndexProbe(100000, 100000));
+}
+
+// ---- execution equivalence (the 1/2/4-thread property tests, pointed
+// ---- through the plan executor) ---------------------------------------
+
+ExprPtr RandomExpr(Rng* rng, int depth, bool allow_star) {
+  auto rand_pos = [&] { return static_cast<Pos>(rng->Below(6)); };
+  auto rand_spec = [&] {
+    JoinSpec spec;
+    spec.out = {rand_pos(), rand_pos(), rand_pos()};
+    for (size_t i = 0, n = rng->Below(3); i < n; ++i) {
+      spec.cond.theta.push_back(ObjConstraint{
+          ObjTerm::P(rand_pos()), ObjTerm::P(rand_pos()), rng->Chance(3, 4)});
+    }
+    if (rng->Chance(1, 3)) {
+      spec.cond.eta.push_back(DataConstraint{
+          DataTerm::P(rand_pos()), DataTerm::P(rand_pos()),
+          rng->Chance(2, 3)});
+    }
+    return spec;
+  };
+  if (depth <= 0) return Expr::Rel("E");
+  switch (rng->Below(allow_star ? 7 : 5)) {
+    case 0:
+      return Expr::Rel("E");
+    case 1: {
+      CondSet cond;
+      cond.theta.push_back(ObjConstraint{
+          ObjTerm::P(static_cast<Pos>(rng->Below(3))),
+          ObjTerm::C(static_cast<ObjId>(rng->Below(8))), rng->Chance(2, 3)});
+      return Expr::Select(RandomExpr(rng, depth - 1, allow_star), cond);
+    }
+    case 2:
+      return Expr::Union(RandomExpr(rng, depth - 1, allow_star),
+                         RandomExpr(rng, depth - 1, allow_star));
+    case 3:
+      return Expr::Diff(RandomExpr(rng, depth - 1, allow_star),
+                        RandomExpr(rng, depth - 1, allow_star));
+    case 4:
+      return Expr::Join(RandomExpr(rng, depth - 1, allow_star),
+                        RandomExpr(rng, depth - 1, allow_star), rand_spec());
+    case 5:
+      return Expr::StarRight(RandomExpr(rng, depth - 1, false), rand_spec());
+    default:
+      return Expr::StarLeft(RandomExpr(rng, depth - 1, false), rand_spec());
+  }
+}
+
+// Plan execution must equal the serial smart engine for 1, 2 and 4
+// threads — with min_parallel_items forced to 1 so every parallel
+// kernel really takes its parallel branch.
+TEST(PlanExecEquivalence, ThreadCountInvariantOnZipfStores) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 271 + 9);
+    RandomStoreOptions opts;
+    opts.num_objects = 12;
+    opts.num_triples = 60;
+    opts.num_data_values = 3;
+    opts.zipf_p = 1.2;
+    opts.zipf_o = 0.8;
+    opts.seed = seed * 23 + 1;
+    TripleStore store = RandomTripleStore(opts);
+    auto serial = MakeSmartEvaluator();
+    for (int i = 0; i < 8; ++i) {
+      ExprPtr e = RandomExpr(&rng, 3, /*allow_star=*/true);
+      auto r0 = serial->Eval(e, store);
+      ASSERT_TRUE(r0.ok()) << r0.status().ToString() << "\n" << e->ToString();
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+        ExecLimits limits;
+        limits.exec.num_threads = threads;
+        limits.exec.min_parallel_items = 1;
+        PlanPtr p = PlanExpr(e, store);
+        auto r = ExecutePlan(*p, store, limits);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(*r0, *r) << threads << " threads on " << e->ToString()
+                           << "\n" << Explain(*p);
+        RecordRootRows(*p, *r);
+        EXPECT_EQ(p->runtime.actual_rows, r->size());
+      }
+    }
+  }
+}
+
+// The smart engine's one-entry plan memo: re-evaluating the same
+// expression reuses the plan; switching the expression, the store, or
+// mutating the store's contents must all produce the same results as a
+// fresh engine (plans resolve relations and cost decisions at
+// execution time, so a cached plan never goes semantically stale).
+TEST(SmartEngineMemo, RepeatedAndSwitchedEvalsMatchFreshEngines) {
+  TripleStore a = SkewedStore(256, 5);
+  TripleStore b = SkewedStore(256, 9);
+  ExprPtr e = CompositionJoin(Expr::Rel("E"), Expr::Rel("E"));
+  ExprPtr e2 = Expr::Union(Expr::Rel("E"), Expr::Rel("E"));
+  auto fresh = [](const ExprPtr& x, const TripleStore& s) {
+    auto r = MakeSmartEvaluator()->Eval(x, s);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  };
+  auto engine = MakeSmartEvaluator();
+  auto r1 = engine->Eval(e, a);   // memo miss
+  auto r1b = engine->Eval(e, a);  // memo hit
+  ASSERT_TRUE(r1.ok() && r1b.ok());
+  EXPECT_EQ(*r1, *r1b);
+  EXPECT_EQ(*r1, fresh(e, a));
+  auto r2 = engine->Eval(e, b);  // store switch invalidates
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, fresh(e, b));
+  auto r3 = engine->Eval(e2, a);  // expression switch invalidates
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, fresh(e2, a));
+  // Mutating the store must be visible through a reused plan: the
+  // executor re-reads relations by name at execution time.
+  a.Add("E", "memo_s", "memo_p", "memo_o");
+  auto r4a = engine->Eval(e, a);  // re-keys to (e, a): plan reused later
+  auto r4b = engine->Eval(e, a);
+  ASSERT_TRUE(r4a.ok() && r4b.ok());
+  EXPECT_EQ(*r4a, fresh(e, a));
+  EXPECT_EQ(*r4a, *r4b);
+}
+
+// The result-size guard fires identically through the plan executor.
+TEST(PlanExecGuards, UniverseGuard) {
+  RandomStoreOptions opts;
+  opts.num_objects = 600;
+  opts.num_triples = 2000;
+  TripleStore store = RandomTripleStore(opts);
+  ExecLimits limits;
+  limits.max_result_triples = 1'000'000;  // 600^3 >> guard
+  PlanPtr p = PlanExpr(Expr::Universe(), store);
+  auto r = ExecutePlan(*p, store, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace trial
