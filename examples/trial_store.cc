@@ -24,9 +24,19 @@
 //   --query-threads=N  also evaluate with N evaluator threads (0 = one
 //                    per hardware thread) and report serial vs parallel
 //                    wall time; results are verified identical
+//   --save=PATH      after loading, persist the store as a binary
+//                    snapshot (segment format; see
+//                    storage/segment/store_snapshot.h).  With --verify
+//                    the snapshot is also reopened and checked
+//                    equivalent to the loaded store.
+//   --open           treat <file> as a snapshot written by --save and
+//                    mmap-open it instead of parsing N-Triples; the
+//                    open reads metadata only (no triple decode until
+//                    the first query scan)
 //   --json=PATH      write a load-throughput JSON record (includes the
-//                    per-expression query timings when --query ran, and
-//                    plan_* fields when --explain was given)
+//                    per-expression query timings when --query ran,
+//                    plan_* fields when --explain was given, and the
+//                    snapshot save_ms / open_ms / store_bytes fields)
 
 #include <cerrno>
 #include <cstdio>
@@ -39,6 +49,7 @@
 #include "core/plan/plan.h"
 #include "loader/bulk_load.h"
 #include "loader/ntriples_writer.h"
+#include "storage/segment/store_snapshot.h"
 #include "util/timer.h"
 
 using namespace trial;
@@ -60,6 +71,8 @@ struct Args {
   bool explain = false;
   size_t query_threads = 1;  // 1: serial only; 0: hardware concurrency
   std::string json;
+  std::string save;
+  bool open = false;
 };
 
 // Per-expression evaluation timings for the report and the stats JSON.
@@ -132,6 +145,10 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       if (!ParseCount("--query-threads", v, &a->query_threads)) return false;
     } else if (const char* v = value("--json=")) {
       a->json = v;
+    } else if (const char* v = value("--save=")) {
+      a->save = v;
+    } else if (arg == "--open") {
+      a->open = true;
     } else if (arg.compare(0, 2, "--") == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return false;
@@ -152,6 +169,13 @@ bool ParseArgs(int argc, char** argv, Args* a) {
     std::fprintf(stderr, "--explain requires --query\n");
     return false;
   }
+  if (a->open &&
+      (a->gen > 0 || a->legacy || a->verify || !a->save.empty())) {
+    std::fprintf(stderr,
+                 "--open takes a snapshot file and cannot be combined with "
+                 "--gen/--legacy/--verify/--save\n");
+    return false;
+  }
   return true;
 }
 
@@ -169,7 +193,7 @@ std::string EscapeJson(const std::string& s) {
 }
 
 void WriteJson(const Args& args, const BulkLoadStats& stats,
-               const QueryStats& query) {
+               double open_seconds, const QueryStats& query) {
   std::FILE* f = std::fopen(args.json.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", args.json.c_str());
@@ -194,7 +218,10 @@ void WriteJson(const Args& args, const BulkLoadStats& stats,
                "  \"merge_seconds\": %.4f,\n"
                "  \"total_seconds\": %.4f,\n"
                "  \"triples_per_second\": %.0f,\n"
-               "  \"mb_per_second\": %.1f",
+               "  \"mb_per_second\": %.1f,\n"
+               "  \"save_ms\": %.2f,\n"
+               "  \"open_ms\": %.2f,\n"
+               "  \"store_bytes\": %zu",
                EscapeJson(args.file).c_str(), stats.bytes, stats.parse.lines,
                stats.parse.triples, stats.parse.skipped_literals,
                stats.parse.skipped_blanks, stats.triples_loaded,
@@ -204,7 +231,9 @@ void WriteJson(const Args& args, const BulkLoadStats& stats,
                stats.total_seconds > 0
                    ? static_cast<double>(stats.bytes) / 1e6 /
                          stats.total_seconds
-                   : 0);
+                   : 0,
+               stats.save_seconds * 1e3, open_seconds * 1e3,
+               stats.snapshot_bytes);
   if (query.ran) {
     std::fprintf(f,
                  ",\n"
@@ -360,8 +389,22 @@ int main(int argc, char** argv) {
   opts.parse.accept_unsupported = !args.strict;
 
   BulkLoadStats stats;
+  double open_seconds = 0;
   Result<TripleStore> loaded = Status::Internal("unset");
-  if (args.legacy) {
+  if (args.open) {
+    OpenSnapshotStats ostats;
+    loaded = OpenStoreSnapshot(args.file, {}, &ostats);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "open: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    open_seconds = ostats.seconds;
+    stats.bytes = ostats.bytes;
+    stats.snapshot_bytes = ostats.bytes;
+    stats.triples_loaded = ostats.triples;
+    stats.objects = ostats.objects;
+    stats.relations = ostats.relations;
+  } else if (args.legacy) {
     Timer t;
     loaded = LegacyLoadNTriplesFile(args.file, opts, &stats.parse);
     stats.total_seconds = t.Seconds();
@@ -376,8 +419,19 @@ int main(int argc, char** argv) {
         if (size > 0) stats.bytes = static_cast<size_t>(size);
         std::fclose(f);
       }
+      if (!args.save.empty()) {
+        SaveSnapshotStats ss;
+        Status st = SaveStoreSnapshot(*loaded, args.save, &ss);
+        if (!st.ok()) {
+          std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        stats.save_seconds = ss.seconds;
+        stats.snapshot_bytes = ss.bytes;
+      }
     }
   } else {
+    opts.snapshot_path = args.save;  // segment-emitting loader sink
     loaded = BulkLoadNTriplesFile(args.file, opts, &stats);
   }
   if (!loaded.ok()) {
@@ -386,32 +440,48 @@ int main(int argc, char** argv) {
   }
   TripleStore& store = *loaded;
 
-  std::printf("loaded %s (%s path)\n", args.file.c_str(),
-              args.legacy ? "legacy" : "bulk");
-  std::printf("  lines      %zu  (skipped: %zu literal, %zu blank)\n",
-              stats.parse.lines, stats.parse.skipped_literals,
-              stats.parse.skipped_blanks);
-  std::printf("  triples    %zu parsed, %zu loaded\n", stats.parse.triples,
-              stats.triples_loaded);
-  std::printf("  objects    %zu\n", stats.objects);
-  std::printf("  relations  %zu\n", stats.relations);
-  if (store.NumRelations() > 1 && store.NumRelations() <= 20) {
-    for (RelId r = 0; r < store.NumRelations(); ++r) {
-      std::printf("    %-40s %zu\n",
-                  std::string(store.RelationName(r)).c_str(),
-                  store.Relation(r).size());
+  if (args.open) {
+    std::printf("opened snapshot %s\n", args.file.c_str());
+    std::printf("  objects    %zu\n", stats.objects);
+    std::printf("  relations  %zu\n", stats.relations);
+    std::printf("  triples    %zu\n", stats.triples_loaded);
+    std::printf("  file       %zu bytes\n", stats.snapshot_bytes);
+    std::printf("  open       %.2f ms (metadata only; triple data decodes "
+                "lazily on first scan)\n",
+                open_seconds * 1e3);
+  } else {
+    std::printf("loaded %s (%s path)\n", args.file.c_str(),
+                args.legacy ? "legacy" : "bulk");
+    std::printf("  lines      %zu  (skipped: %zu literal, %zu blank)\n",
+                stats.parse.lines, stats.parse.skipped_literals,
+                stats.parse.skipped_blanks);
+    std::printf("  triples    %zu parsed, %zu loaded\n", stats.parse.triples,
+                stats.triples_loaded);
+    std::printf("  objects    %zu\n", stats.objects);
+    std::printf("  relations  %zu\n", stats.relations);
+    if (store.NumRelations() > 1 && store.NumRelations() <= 20) {
+      for (RelId r = 0; r < store.NumRelations(); ++r) {
+        std::printf("    %-40s %zu\n",
+                    std::string(store.RelationName(r)).c_str(),
+                    store.Relation(r).size());
+      }
+    }
+    std::printf(
+        "  timing     read %.3fs, parse %.3fs, merge %.3fs, total %.3fs "
+        "(%zu threads, %zu chunks)\n",
+        stats.read_seconds, stats.parse_seconds, stats.merge_seconds,
+        stats.total_seconds, stats.threads, stats.chunks);
+    std::printf("  throughput %.0f triples/s, %.1f MB/s\n",
+                stats.TriplesPerSecond(),
+                stats.total_seconds > 0 ? static_cast<double>(stats.bytes) /
+                                              1e6 / stats.total_seconds
+                                        : 0);
+    if (!args.save.empty()) {
+      std::printf("  snapshot   %s: %zu bytes in %.2f ms\n",
+                  args.save.c_str(), stats.snapshot_bytes,
+                  stats.save_seconds * 1e3);
     }
   }
-  std::printf(
-      "  timing     read %.3fs, parse %.3fs, merge %.3fs, total %.3fs "
-      "(%zu threads, %zu chunks)\n",
-      stats.read_seconds, stats.parse_seconds, stats.merge_seconds,
-      stats.total_seconds, stats.threads, stats.chunks);
-  std::printf("  throughput %.0f triples/s, %.1f MB/s\n",
-              stats.TriplesPerSecond(),
-              stats.total_seconds > 0 ? static_cast<double>(stats.bytes) /
-                                            1e6 / stats.total_seconds
-                                      : 0);
 
   if (args.verify) {
     // Cross-check against the *other* load path, so --legacy --verify
@@ -432,11 +502,26 @@ int main(int argc, char** argv) {
     }
     std::printf("verify: bulk and legacy stores are equivalent "
                 "(objects, relations, rho)\n");
+    if (!args.save.empty()) {
+      auto reopened = OpenStoreSnapshot(args.save);
+      if (!reopened.ok()) {
+        std::fprintf(stderr, "verify (snapshot reopen): %s\n",
+                     reopened.status().ToString().c_str());
+        return 1;
+      }
+      if (!StoresEquivalent(store, *reopened, &diff)) {
+        std::fprintf(stderr, "verify: reopened snapshot DIFFERS: %s\n",
+                     diff.c_str());
+        return 1;
+      }
+      std::printf("verify: reopened snapshot is equivalent to the loaded "
+                  "store\n");
+    }
   }
 
   QueryStats query;
   int query_rc = 0;
   if (!args.query.empty()) query_rc = RunQuery(store, args, &query);
-  if (!args.json.empty()) WriteJson(args, stats, query);
+  if (!args.json.empty()) WriteJson(args, stats, open_seconds, query);
   return query_rc;
 }

@@ -53,6 +53,8 @@ class MatrixEvaluator final : public Evaluator {
     if (t.Count() > opts_.max_result_triples) {
       return Status::ResourceExhausted("result too large");
     }
+    // Corrupt snapshot segments decode to empty scans; fail loudly.
+    TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
     return TripleSet(ExtractTriples(t));
   }
 

@@ -23,7 +23,11 @@ class NaiveEvaluator final : public Evaluator {
 
   Result<TripleSet> Eval(const ExprPtr& e, const TripleStore& store) override {
     TRIAL_RETURN_IF_ERROR(ValidateExpr(e));
-    return EvalNode(*e, store);
+    Result<TripleSet> result = EvalNode(*e, store);
+    // Corrupt snapshot segments decode to empty scans; fail loudly.
+    if (result.ok()) TRIAL_RETURN_IF_ERROR(result->VerifyMaterialized());
+    TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
+    return result;
   }
 
   const char* name() const override { return "naive"; }

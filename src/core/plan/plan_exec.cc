@@ -383,7 +383,14 @@ class Executor {
 
 Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
                               const ExecLimits& limits) {
-  return Executor(store, limits).Exec(root);
+  Result<TripleSet> result = Executor(store, limits).Exec(root);
+  // A lazy snapshot decode that hit corruption yields empty scans, not
+  // a Status — surface the sticky diagnostic instead of a silently
+  // wrong (empty/partial) result.  The result itself may be a still-lazy
+  // pass-through of a relation (a bare index scan), so force it too.
+  if (result.ok()) TRIAL_RETURN_IF_ERROR(result->VerifyMaterialized());
+  TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
+  return result;
 }
 
 void RecordRootRows(PlanNode& root, const TripleSet& result) {

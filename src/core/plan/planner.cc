@@ -196,6 +196,19 @@ class Planner {
           for (int i = 0; i < 3; ++i) {
             c.distinct[i] = ca.distinct[i] + cb.distinct[i];
           }
+        } else if (a->op == PlanOp::kUniverseRel) {
+          // U − e': containment is exact (e' ⊆ U up to the encoding),
+          // so the complement's row count is the difference, not |U|.
+          // This is the paper's complement idiom (U MINUS e), and the
+          // |U| = n³ upper bound was off by the full universe for any
+          // selective e'.  Distincts stay at n: removing e' rarely
+          // exhausts a whole hyperplane of the cube.
+          c = ca;
+          c.rows = ca.rows > cb.rows ? ca.rows - cb.rows : 0.0;
+        } else if (b->op == PlanOp::kUniverseRel) {
+          // e − U is empty whenever e is a relation over O.
+          c.rows = 0.0;
+          c.distinct[0] = c.distinct[1] = c.distinct[2] = 0.0;
         } else {
           c = ca;  // e − e' is at most e
         }

@@ -417,6 +417,14 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
       }
     }
   }
+  // Corrupt snapshot segments decode to empty scans; fail loudly
+  // instead of returning predicates derived from missing facts.  An
+  // IDB predicate can be a lazy pass-through of an EDB relation, so
+  // force those too.
+  for (const auto& [pred, rel] : idb) {
+    TRIAL_RETURN_IF_ERROR(rel.VerifyMaterialized());
+  }
+  TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
   return idb;
 }
 

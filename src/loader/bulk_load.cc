@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/segment/store_snapshot.h"
 #include "util/interner.h"
 #include "util/timer.h"
 
@@ -200,6 +201,19 @@ Result<TripleStore> BulkLoadNTriples(std::string_view text,
   }
   double merge_seconds = merge_timer.Seconds();
 
+  // Optional segment-emitting sink: persist the loaded store before
+  // returning it, so one pass produces both the in-memory store and
+  // the reopenable snapshot.
+  double save_seconds = 0;
+  size_t snapshot_bytes = 0;
+  if (!opts.snapshot_path.empty()) {
+    SaveSnapshotStats save_stats;
+    TRIAL_RETURN_IF_ERROR(
+        SaveStoreSnapshot(store, opts.snapshot_path, &save_stats));
+    save_seconds = save_stats.seconds;
+    snapshot_bytes = save_stats.bytes;
+  }
+
   if (stats != nullptr) {
     stats->bytes = text.size();
     stats->chunks = chunks.size();
@@ -217,6 +231,8 @@ Result<TripleStore> BulkLoadNTriples(std::string_view text,
     stats->relations = store.NumRelations();
     stats->parse_seconds = parse_seconds;
     stats->merge_seconds = merge_seconds;
+    stats->save_seconds = save_seconds;
+    stats->snapshot_bytes = snapshot_bytes;
     stats->total_seconds = total.Seconds();
   }
   return store;

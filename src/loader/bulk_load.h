@@ -61,6 +61,12 @@ struct BulkLoadOptions {
   /// When true, each distinct predicate becomes its own relation named
   /// by the predicate, instead of one big `relation`.
   bool relation_per_predicate = false;
+  /// When non-empty, the loaded store is saved as an on-disk snapshot
+  /// at this path after the merge phase (see
+  /// storage/segment/store_snapshot.h); reopen with OpenStoreSnapshot
+  /// or `trial_store --open`.  The save builds the permutation indexes
+  /// and exact stats as a side effect (they are part of the format).
+  std::string snapshot_path;
 };
 
 /// Accounting for one bulk load.
@@ -75,6 +81,8 @@ struct BulkLoadStats {
   double read_seconds = 0;   ///< file read (file entry point only)
   double parse_seconds = 0;  ///< parallel parse + shard-encode phase
   double merge_seconds = 0;  ///< dict merge + remap/sort + run merge
+  double save_seconds = 0;   ///< snapshot write (snapshot_path set)
+  size_t snapshot_bytes = 0; ///< snapshot file size (snapshot_path set)
   double total_seconds = 0;
 
   double TriplesPerSecond() const {

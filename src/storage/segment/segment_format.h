@@ -1,0 +1,154 @@
+// The on-disk snapshot format shared by SegmentWriter and SegmentReader.
+//
+// A snapshot is one file: a fixed header, a table of contents, and
+// 8-byte-aligned payload sections.  The design follows the RDF-3X
+// native-store mold (delta-compressed sorted triple segments per
+// permutation plus a serialized dictionary; cf. Neumann & Weikum and
+// the RDF stores survey in PAPERS.md), sized so that *opening* a store
+// reads metadata only — triple payloads are decoded lazily, section by
+// section, on first scan.
+//
+//   +--------------------------------------------------------------+
+//   | Header (64 B): magic, endian tag, version, section count,    |
+//   |   file size, TOC extent + checksum, header checksum          |
+//   +--------------------------------------------------------------+
+//   | TOC: one 48-B entry per section                              |
+//   |   {kind, rel, order, offset, bytes, count, checksum}         |
+//   +--------------------------------------------------------------+
+//   | kDictOffsets   (n+1) x u64 string offsets   [checked at open]|
+//   | kDictBytes     concatenated string bytes    [checked lazily] |
+//   | kRelationDir   names + counts + exact stats [checked at open]|
+//   | kRho           sparse (id, DataValue) pairs [checked at open]|
+//   | kTriples x 3 per relation (SPO / POS / OSP) [checked at first|
+//   |   decode]: delta/varint-compressed sorted triple runs        |
+//   +--------------------------------------------------------------+
+//
+// Integers are written in the host's native byte order; the endian tag
+// makes a foreign-endian file a clean open error instead of garbage.
+// Every section carries a 64-bit checksum over its payload.  Metadata
+// sections (TOC, dictionary offsets, relation directory, rho) are
+// verified eagerly at open; bulk payloads (triples, dictionary bytes)
+// are verified at first decode so `--open` stays O(metadata).
+//
+// Versioning: bump kSegmentVersion on any layout change; readers reject
+// other versions with a clear diagnostic rather than misparse.
+
+#ifndef TRIAL_STORAGE_SEGMENT_SEGMENT_FORMAT_H_
+#define TRIAL_STORAGE_SEGMENT_SEGMENT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace trial {
+
+/// "TRIALSG1" packed little-endian-first; a raw byte compare, so a
+/// foreign-endian writer still produces a *matching* magic and is then
+/// rejected by the endian tag with the better diagnostic.
+inline constexpr uint8_t kSegmentMagic[8] = {'T', 'R', 'I', 'A',
+                                             'L', 'S', 'G', '1'};
+inline constexpr uint32_t kSegmentEndianTag = 0x01020304u;
+inline constexpr uint32_t kSegmentVersion = 1;
+
+/// Payload section kinds.
+enum SegmentKind : uint32_t {
+  kSegDictOffsets = 1,  ///< (count+1) u64 offsets into kSegDictBytes
+  kSegDictBytes = 2,    ///< concatenated object-name bytes
+  kSegRelationDir = 3,  ///< names, triple counts, exact per-column stats
+  kSegRho = 4,          ///< sparse (ObjId, DataValue) attribute pairs
+  kSegTriples = 5,      ///< one permutation of one relation, compressed
+};
+
+/// Sentinel for the TOC `rel` field of non-relation sections.
+inline constexpr uint32_t kSegNoRelation = 0xffffffffu;
+
+/// Fixed-size file header.  Field order is part of the format.
+struct SegmentFileHeader {
+  uint8_t magic[8];
+  uint32_t endian_tag;
+  uint32_t version;
+  uint32_t section_count;
+  uint32_t reserved;
+  uint64_t file_bytes;      ///< expected total size (truncation check)
+  uint64_t toc_offset;
+  uint64_t toc_bytes;
+  uint64_t toc_checksum;    ///< over the raw TOC bytes
+  uint64_t header_checksum; ///< over the preceding 56 header bytes
+};
+static_assert(sizeof(SegmentFileHeader) == 64, "header layout is the format");
+
+/// One TOC entry.
+struct SegmentTocEntry {
+  uint32_t kind;
+  uint32_t rel;      ///< relation index, or kSegNoRelation
+  uint32_t order;    ///< IndexOrder for kSegTriples, 0 otherwise
+  uint32_t reserved;
+  uint64_t offset;   ///< absolute file offset, 8-byte aligned
+  uint64_t bytes;    ///< payload length
+  uint64_t count;    ///< element count (triples / strings / entries)
+  uint64_t checksum; ///< Checksum64 over the payload
+};
+static_assert(sizeof(SegmentTocEntry) == 48, "TOC layout is the format");
+
+// ---- checksum ----------------------------------------------------------
+
+/// 64-bit non-cryptographic checksum, 8 bytes per step (a murmur-style
+/// mix folded over words).  Fast enough that verifying a triple segment
+/// is a small fraction of decoding it.
+inline uint64_t Checksum64(const void* data, size_t n) {
+  auto mix = [](uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 32;
+    return x;
+  };
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(n) *
+                                        0xff51afd7ed558ccdULL);
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = mix(h ^ w) + 0x2545f4914f6cdd1dULL;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  if (n > 0) std::memcpy(&tail, p, n);
+  return mix(h ^ tail);
+}
+
+// ---- varints -----------------------------------------------------------
+
+/// LEB128 append (unsigned).
+inline void AppendVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// LEB128 read with hard bounds: returns false at end-of-buffer or on
+/// an overlong encoding, leaving *p unspecified — callers translate a
+/// false into a corruption diagnostic, never into an out-of-bounds read.
+inline bool ReadVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    uint8_t b = *(*p)++;
+    out |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_SEGMENT_SEGMENT_FORMAT_H_

@@ -1,0 +1,231 @@
+#include "storage/segment/segment_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace trial {
+namespace {
+
+std::string Describe(const std::string& path, const std::string& what) {
+  return "snapshot " + path + ": " + what;
+}
+
+// One static empty byte so a zero-length file still maps to a valid
+// (never-dereferenced) pointer without calling mmap(0).
+const uint8_t kEmptyByte = 0;
+
+}  // namespace
+
+// ---- MappedFile --------------------------------------------------------
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Map(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(
+        Describe(path, std::string("cannot open: ") + std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal(
+        Describe(path, std::string("fstat failed: ") + std::strerror(errno)));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = &kEmptyByte;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal(
+          Describe(path, std::string("mmap failed: ") + std::strerror(errno)));
+    }
+    data = static_cast<const uint8_t*>(map);
+  }
+  ::close(fd);  // the mapping holds its own reference
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (size_ > 0 && data_ != nullptr && data_ != &kEmptyByte) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+// ---- SegmentWriter -----------------------------------------------------
+
+size_t SegmentWriter::AddSection(uint32_t kind, uint32_t rel, uint32_t order,
+                                 std::vector<uint8_t> payload,
+                                 uint64_t count) {
+  Pending p;
+  p.toc.kind = kind;
+  p.toc.rel = rel;
+  p.toc.order = order;
+  p.toc.reserved = 0;
+  p.toc.offset = 0;
+  p.toc.bytes = payload.size();
+  p.toc.count = count;
+  p.toc.checksum = Checksum64(payload.data(), payload.size());
+  p.payload = std::move(payload);
+  sections_.push_back(std::move(p));
+  return sections_.size() - 1;
+}
+
+size_t SegmentWriter::PayloadBytes() const {
+  size_t n = 0;
+  for (const Pending& p : sections_) n += p.payload.size();
+  return n;
+}
+
+Status SegmentWriter::WriteFile(const std::string& path) const {
+  // Lay out: header | TOC | aligned payloads.
+  std::vector<SegmentTocEntry> toc;
+  toc.reserve(sections_.size());
+  uint64_t offset = sizeof(SegmentFileHeader) +
+                    sections_.size() * sizeof(SegmentTocEntry);
+  for (const Pending& p : sections_) {
+    offset = (offset + 7) & ~uint64_t{7};
+    SegmentTocEntry e = p.toc;
+    e.offset = offset;
+    toc.push_back(e);
+    offset += e.bytes;
+  }
+  uint64_t file_bytes = offset;
+
+  SegmentFileHeader h;
+  std::memcpy(h.magic, kSegmentMagic, sizeof(h.magic));
+  h.endian_tag = kSegmentEndianTag;
+  h.version = kSegmentVersion;
+  h.section_count = static_cast<uint32_t>(sections_.size());
+  h.reserved = 0;
+  h.file_bytes = file_bytes;
+  h.toc_offset = sizeof(SegmentFileHeader);
+  h.toc_bytes = toc.size() * sizeof(SegmentTocEntry);
+  h.toc_checksum = Checksum64(toc.data(), h.toc_bytes);
+  h.header_checksum =
+      Checksum64(&h, offsetof(SegmentFileHeader, header_checksum));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(Describe(
+        path, std::string("cannot create: ") + std::strerror(errno)));
+  }
+  auto write = [f](const void* data, size_t n) {
+    return n == 0 || std::fwrite(data, 1, n, f) == n;
+  };
+  bool ok = write(&h, sizeof(h)) && write(toc.data(), h.toc_bytes);
+  uint64_t pos = sizeof(h) + h.toc_bytes;
+  static const uint8_t kPad[8] = {0};
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    uint64_t aligned = (pos + 7) & ~uint64_t{7};
+    ok = write(kPad, aligned - pos) &&
+         write(sections_[i].payload.data(), sections_[i].payload.size());
+    pos = aligned + sections_[i].payload.size();
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::Internal(Describe(path, "short write"));
+  }
+  return Status::OK();
+}
+
+// ---- SegmentReader -----------------------------------------------------
+
+Result<SegmentReader> SegmentReader::Open(const std::string& path) {
+  auto mapped = MappedFile::Map(path);
+  if (!mapped.ok()) return mapped.status();
+  SegmentReader reader(std::move(mapped).value());
+  const MappedFile& f = *reader.file_;
+
+  if (f.size() < sizeof(SegmentFileHeader)) {
+    return Status::InvalidArgument(Describe(
+        path, "not a trial snapshot (file smaller than the header)"));
+  }
+  SegmentFileHeader h;
+  std::memcpy(&h, f.data(), sizeof(h));
+  if (std::memcmp(h.magic, kSegmentMagic, sizeof(h.magic)) != 0) {
+    return Status::InvalidArgument(
+        Describe(path, "not a trial snapshot (bad magic)"));
+  }
+  if (h.endian_tag != kSegmentEndianTag) {
+    return Status::InvalidArgument(Describe(
+        path, "wrong-endian snapshot (written on a foreign-endian host)"));
+  }
+  if (h.version != kSegmentVersion) {
+    return Status::InvalidArgument(
+        Describe(path, "unsupported snapshot version " +
+                           std::to_string(h.version) + " (this build reads " +
+                           std::to_string(kSegmentVersion) + ")"));
+  }
+  if (Checksum64(&h, offsetof(SegmentFileHeader, header_checksum)) !=
+      h.header_checksum) {
+    return Status::InvalidArgument(
+        Describe(path, "corrupt header (checksum mismatch)"));
+  }
+  if (h.file_bytes != f.size()) {
+    return Status::InvalidArgument(Describe(
+        path, "truncated snapshot: header declares " +
+                  std::to_string(h.file_bytes) + " bytes, file has " +
+                  std::to_string(f.size())));
+  }
+  if (h.toc_bytes != uint64_t{h.section_count} * sizeof(SegmentTocEntry) ||
+      h.toc_offset + h.toc_bytes > f.size()) {
+    return Status::InvalidArgument(
+        Describe(path, "corrupt table of contents (bad extent)"));
+  }
+  if (Checksum64(f.data() + h.toc_offset, h.toc_bytes) != h.toc_checksum) {
+    return Status::InvalidArgument(
+        Describe(path, "corrupt table of contents (checksum mismatch)"));
+  }
+  reader.toc_.resize(h.section_count);
+  std::memcpy(reader.toc_.data(), f.data() + h.toc_offset, h.toc_bytes);
+  for (size_t i = 0; i < reader.toc_.size(); ++i) {
+    const SegmentTocEntry& e = reader.toc_[i];
+    if (e.offset % 8 != 0 || e.offset > f.size() ||
+        e.bytes > f.size() - e.offset) {
+      return Status::InvalidArgument(
+          Describe(path, "section " + std::to_string(i) +
+                             " extends past the end of the file"));
+    }
+  }
+  return reader;
+}
+
+Status SegmentReader::VerifySection(size_t i) const {
+  const SegmentTocEntry& e = toc_[i];
+  if (Checksum64(SectionData(i), e.bytes) != e.checksum) {
+    return Status::InvalidArgument(Describe(
+        file_->path(), "section " + std::to_string(i) + " (kind " +
+                           std::to_string(e.kind) +
+                           ") payload checksum mismatch — corrupt data"));
+  }
+  return Status::OK();
+}
+
+Status SegmentReader::VerifyAll() const {
+  for (size_t i = 0; i < toc_.size(); ++i) {
+    TRIAL_RETURN_IF_ERROR(VerifySection(i));
+  }
+  return Status::OK();
+}
+
+size_t SegmentReader::Find(uint32_t kind, uint32_t rel,
+                           uint32_t order) const {
+  for (size_t i = 0; i < toc_.size(); ++i) {
+    if (toc_[i].kind == kind && toc_[i].rel == rel &&
+        toc_[i].order == order) {
+      return i;
+    }
+  }
+  return kNotFound;
+}
+
+}  // namespace trial

@@ -1,0 +1,120 @@
+// Snapshot file I/O: SegmentWriter assembles and writes a snapshot,
+// MappedFile + SegmentReader open one via mmap.
+//
+// SegmentReader::Open validates *metadata only* — magic, endian tag,
+// version, declared-vs-actual file size, TOC bounds and the TOC/header
+// checksums — touching none of the payload pages, so opening a
+// multi-gigabyte snapshot costs a handful of page reads.  Payload
+// integrity is the caller's choice of when: VerifySection / VerifyAll
+// check the per-section checksums on demand (the lazy triple decoders
+// call VerifySection before the first decode of a segment).
+//
+// SegmentReader is the single choke point through which payload bytes
+// are reached (SectionData).  A future paged BufferManager for
+// beyond-RAM datasets slots in behind exactly this interface: replace
+// the flat mmap view with page-granular pinning and nothing above the
+// reader — sources, TripleSet, the planner — needs to change.
+
+#ifndef TRIAL_STORAGE_SEGMENT_SEGMENT_IO_H_
+#define TRIAL_STORAGE_SEGMENT_SEGMENT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/segment/segment_format.h"
+#include "util/status.h"
+
+namespace trial {
+
+/// A read-only memory-mapped file.  The mapping lives as long as the
+/// object; snapshot-backed stores keep it alive via shared_ptr from
+/// every lazily-decodable source.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<const MappedFile>> Map(
+      const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Assembles a snapshot: sections are added as byte payloads, then
+/// WriteFile lays them out (8-byte aligned), computes every checksum
+/// and writes header + TOC + payloads in one pass.
+class SegmentWriter {
+ public:
+  /// Registers a section; returns its index.  `count` is the section's
+  /// element count (triples, strings, rho entries — whatever the kind
+  /// counts), recorded in the TOC for header-only size queries.
+  size_t AddSection(uint32_t kind, uint32_t rel, uint32_t order,
+                    std::vector<uint8_t> payload, uint64_t count);
+
+  /// Total payload bytes added so far (pre-alignment).
+  size_t PayloadBytes() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Pending {
+    SegmentTocEntry toc;  // offset filled during WriteFile
+    std::vector<uint8_t> payload;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// An open, metadata-validated snapshot.
+class SegmentReader {
+ public:
+  /// mmaps `path` and validates header + TOC (see file comment).
+  /// Rejects non-snapshots, truncated files, foreign-endian files and
+  /// unknown versions with a diagnostic naming the file and the reason.
+  static Result<SegmentReader> Open(const std::string& path);
+
+  size_t NumSections() const { return toc_.size(); }
+  const SegmentTocEntry& Section(size_t i) const { return toc_[i]; }
+
+  /// Payload pointer of section `i`.  Bounds were validated at Open;
+  /// the checksum was not (see VerifySection).
+  const uint8_t* SectionData(size_t i) const {
+    return file_->data() + toc_[i].offset;
+  }
+
+  /// Verifies section `i`'s payload checksum (touches its pages).
+  Status VerifySection(size_t i) const;
+
+  /// Verifies every section — the slow-but-safe open mode.
+  Status VerifyAll() const;
+
+  /// First section matching (kind, rel, order), or npos.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t Find(uint32_t kind, uint32_t rel = kSegNoRelation,
+              uint32_t order = 0) const;
+
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+ private:
+  explicit SegmentReader(std::shared_ptr<const MappedFile> file)
+      : file_(std::move(file)) {}
+
+  std::shared_ptr<const MappedFile> file_;
+  std::vector<SegmentTocEntry> toc_;
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_SEGMENT_SEGMENT_IO_H_

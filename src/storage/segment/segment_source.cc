@@ -1,0 +1,121 @@
+#include "storage/segment/segment_source.h"
+
+#include "storage/segment/segment_format.h"
+
+namespace trial {
+
+void EncodeTripleSegment(TripleRange range, IndexOrder order,
+                         std::vector<uint8_t>* out) {
+  const int c0 = IndexColumn(order, 0);
+  const int c1 = IndexColumn(order, 1);
+  const int c2 = IndexColumn(order, 2);
+  ObjId p0 = 0, p1 = 0, p2 = 0;
+  for (const Triple& t : range) {
+    ObjId k0 = t[c0], k1 = t[c1], k2 = t[c2];
+    AppendVarint(out, k0 - p0);
+    if (k0 != p0) {
+      AppendVarint(out, k1);
+      AppendVarint(out, k2);
+    } else {
+      AppendVarint(out, k1 - p1);
+      if (k1 != p1) {
+        AppendVarint(out, k2);
+      } else {
+        AppendVarint(out, k2 - p2);
+      }
+    }
+    p0 = k0;
+    p1 = k1;
+    p2 = k2;
+  }
+}
+
+Status DecodeTripleSegment(const uint8_t* data, size_t bytes, size_t count,
+                           IndexOrder order, const std::string& origin,
+                           std::vector<Triple>* out) {
+  out->clear();
+  const int c0 = IndexColumn(order, 0);
+  const int c1 = IndexColumn(order, 1);
+  const int c2 = IndexColumn(order, 2);
+  auto corrupt = [&](const char* what) {
+    out->clear();
+    return Status::InvalidArgument(origin + ": corrupt " +
+                                   IndexOrderName(order) +
+                                   " triple segment (" + what + ")");
+  };
+  const uint8_t* p = data;
+  const uint8_t* end = data + bytes;
+  out->reserve(count);
+  ObjId k0 = 0, k1 = 0, k2 = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t d0, v1, v2;
+    if (!ReadVarint(&p, end, &d0)) return corrupt("stream ends early");
+    if (d0 != 0) {
+      if (!ReadVarint(&p, end, &v1) || !ReadVarint(&p, end, &v2)) {
+        return corrupt("stream ends early");
+      }
+      uint64_t n0 = k0 + d0;
+      if (n0 > UINT32_MAX || v1 > UINT32_MAX || v2 > UINT32_MAX) {
+        return corrupt("object id out of range");
+      }
+      k0 = static_cast<ObjId>(n0);
+      k1 = static_cast<ObjId>(v1);
+      k2 = static_cast<ObjId>(v2);
+    } else {
+      if (!ReadVarint(&p, end, &v1)) return corrupt("stream ends early");
+      if (v1 != 0) {
+        if (!ReadVarint(&p, end, &v2)) return corrupt("stream ends early");
+        uint64_t n1 = k1 + v1;
+        if (n1 > UINT32_MAX || v2 > UINT32_MAX) {
+          return corrupt("object id out of range");
+        }
+        k1 = static_cast<ObjId>(n1);
+        k2 = static_cast<ObjId>(v2);
+      } else {
+        if (!ReadVarint(&p, end, &v2)) return corrupt("stream ends early");
+        uint64_t n2 = k2 + v2;
+        if (n2 > UINT32_MAX) return corrupt("object id out of range");
+        // Sorted + duplicate-free: within an unchanged (k0, k1) prefix
+        // the last column strictly increases, except for the very first
+        // triple which may legitimately be (0, 0, 0).
+        if (v2 == 0 && i != 0) return corrupt("not strictly sorted");
+        k2 = static_cast<ObjId>(n2);
+      }
+    }
+    Triple t;
+    t.s = 0;
+    t.p = 0;
+    t.o = 0;
+    // Write the key columns back into (s, p, o) positions.
+    ObjId* cols[3] = {&t.s, &t.p, &t.o};
+    *cols[c0] = k0;
+    *cols[c1] = k1;
+    *cols[c2] = k2;
+    out->push_back(t);
+  }
+  if (p != end) return corrupt("trailing bytes after the last triple");
+  return Status::OK();
+}
+
+Status TripleSegmentSource::Decode(IndexOrder order,
+                                   std::vector<Triple>* out) const {
+  decodes_.fetch_add(1, std::memory_order_relaxed);
+  const PermSegment& seg = perms_[static_cast<int>(order)];
+  Status st;
+  if (Checksum64(seg.data, seg.bytes) != seg.checksum) {
+    out->clear();
+    st = Status::InvalidArgument(origin_ + ": " + IndexOrderName(order) +
+                                 " triple segment checksum mismatch — "
+                                 "corrupt data");
+  } else {
+    st = DecodeTripleSegment(seg.data, seg.bytes, stats_.num_triples, order,
+                             origin_, out);
+  }
+  if (!st.ok() && !has_error_.load(std::memory_order_acquire)) {
+    error_ = st;
+    has_error_.store(true, std::memory_order_release);
+  }
+  return st;
+}
+
+}  // namespace trial

@@ -1,0 +1,118 @@
+// TripleSegmentSource: the lazily-decodable backing of a snapshot
+// relation, plus the delta/varint triple codec it shares with the
+// writer.
+//
+// A snapshot-backed TripleSet holds one of these instead of decoded
+// vectors.  Size and exact per-column statistics come from the
+// relation-directory metadata (validated at open), so planning,
+// `size()` and EXPLAIN estimates touch no triple pages; the first scan
+// or probe of a permutation verifies that segment's checksum and
+// decodes it — O(n), no sort, the permutations were sorted at save —
+// into the TripleSet's shared index cache.
+//
+// Corruption discovered by a lazy decode cannot surface as a Status
+// through the const scan path, so it is *sticky*: the source records
+// the first diagnostic, the decode yields an empty permutation, and
+// every evaluator entry point checks TripleStore::SnapshotStatus()
+// before returning a result — a corrupt snapshot fails the query with
+// the diagnostic, never silently returns wrong answers (the library is
+// exception-free by convention, see util/status.h).
+
+#ifndef TRIAL_STORAGE_SEGMENT_SEGMENT_SOURCE_H_
+#define TRIAL_STORAGE_SEGMENT_SEGMENT_SOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/segment/segment_io.h"
+#include "storage/triple.h"
+#include "storage/triple_index.h"
+#include "util/status.h"
+
+namespace trial {
+
+// ---- the triple codec --------------------------------------------------
+//
+// Triples are stored sorted by the permutation's key order (k0, k1, k2
+// = the order's columns) and gap-compressed: each triple writes the
+// delta of k0, then either full (k1, k2) when k0 advanced, the delta
+// of k1 plus full k2 when only k1 advanced, or just the (strictly
+// positive) delta of k2.  Typical cost is 2-5 bytes per triple against
+// 12 raw.
+
+/// Appends the compressed encoding of `range` (which must be sorted,
+/// duplicate-free, in `order`'s key order) to `out`.
+void EncodeTripleSegment(TripleRange range, IndexOrder order,
+                         std::vector<uint8_t>* out);
+
+/// Decodes `count` triples from `data` into `out` (cleared first).
+/// Bounds-checked against `bytes` at every varint; verifies the stream
+/// is strictly increasing in key order and consumed exactly.  On any
+/// violation returns a diagnostic mentioning `origin` and clears `out`.
+Status DecodeTripleSegment(const uint8_t* data, size_t bytes, size_t count,
+                           IndexOrder order, const std::string& origin,
+                           std::vector<Triple>* out);
+
+// ---- the lazy source ---------------------------------------------------
+
+/// The snapshot backing of one relation: three compressed permutation
+/// segments plus the persisted exact stats.  Immutable and shared —
+/// every TripleSet copy of the relation points at the same source, and
+/// the mapping stays alive as long as any of them does.
+class TripleSegmentSource {
+ public:
+  struct PermSegment {
+    const uint8_t* data = nullptr;
+    size_t bytes = 0;
+    uint64_t checksum = 0;
+  };
+
+  TripleSegmentSource(std::shared_ptr<const MappedFile> file,
+                      std::string origin, TripleSetStats stats,
+                      const PermSegment perms[3])
+      : file_(std::move(file)), origin_(std::move(origin)), stats_(stats) {
+    for (int i = 0; i < 3; ++i) perms_[i] = perms[i];
+  }
+
+  size_t num_triples() const { return stats_.num_triples; }
+  /// Exact persisted statistics (triple count + per-column distincts).
+  const TripleSetStats& stats() const { return stats_; }
+  const std::string& origin() const { return origin_; }
+
+  /// Verifies the checksum of `order`'s segment and decodes it.  On
+  /// corruption: records the sticky diagnostic, clears `out`, and
+  /// returns it.  Counts one decode either way (see decode_count).
+  Status Decode(IndexOrder order, std::vector<Triple>* out) const;
+
+  /// The sticky first corruption diagnostic; OK while healthy.
+  Status status() const {
+    return has_error_.load(std::memory_order_acquire) ? error_ : Status::OK();
+  }
+
+  /// Number of segment decodes performed so far — the open-is-lazy
+  /// observable: 0 right after open, and stays 0 until a scan or probe
+  /// first touches triple data.
+  size_t decode_count() const {
+    return decodes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const MappedFile> file_;  // keeps the mapping alive
+  std::string origin_;
+  TripleSetStats stats_;
+  PermSegment perms_[3];
+
+  mutable std::atomic<size_t> decodes_{0};
+  // Written at most once, under the same single-writer lazy-build
+  // contract that guards the index cache itself; the flag's
+  // release/acquire pair publishes the message.
+  mutable Status error_;
+  mutable std::atomic<bool> has_error_{false};
+};
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_SEGMENT_SEGMENT_SOURCE_H_

@@ -1,0 +1,73 @@
+// Whole-store snapshot save/open: the bridge between TripleStore and
+// the segment layer.
+//
+// SaveStoreSnapshot serializes a store into one snapshot file: the
+// dictionary (offsets + bytes), the relation directory with exact
+// per-relation/per-column statistics, sparse rho, and a delta/varint-
+// compressed sorted triple segment per (relation, permutation).
+//
+// OpenStoreSnapshot mmaps a snapshot and builds a query-ready store in
+// O(metadata): header, TOC, dictionary offsets, relation directory and
+// rho are validated eagerly (checksums + structural invariants — the
+// open either fails with a diagnostic or yields a store whose metadata
+// is trustworthy); triple payloads and dictionary bytes stay untouched
+// until first use.  Relations read through TripleSegmentSource (lazy
+// checksum + decode per permutation), the dictionary serves names
+// straight off the mapping, and the planner sees the persisted exact
+// stats via TripleSet::CachedStats without any decode.
+
+#ifndef TRIAL_STORAGE_SEGMENT_STORE_SNAPSHOT_H_
+#define TRIAL_STORAGE_SEGMENT_STORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "storage/triple_store.h"
+#include "util/status.h"
+
+namespace trial {
+
+struct SaveSnapshotStats {
+  double seconds = 0.0;    ///< wall time of serialization + write
+  uint64_t bytes = 0;      ///< size of the written file
+  size_t sections = 0;     ///< number of payload sections
+};
+
+struct OpenSnapshotOptions {
+  /// Verify every section checksum at open (touches all pages — the
+  /// slow-but-safe mode).  Default leaves bulk payloads to their lazy
+  /// first-decode verification.
+  bool verify_payload = false;
+};
+
+struct OpenSnapshotStats {
+  double seconds = 0.0;    ///< wall time of open + metadata validation
+  uint64_t bytes = 0;      ///< snapshot file size
+  size_t objects = 0;      ///< dictionary entries adopted
+  size_t relations = 0;    ///< relations registered
+  uint64_t triples = 0;    ///< total triple count (from metadata)
+};
+
+/// Writes `store` to `path` as a snapshot.  The store's permutations
+/// and stats are built as a side effect (they are what gets written).
+/// Fails — removing any partial file — rather than persisting a
+/// corrupt source store or a short write.
+Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
+                         SaveSnapshotStats* stats = nullptr);
+
+/// Opens a snapshot into a query-ready store without decoding triple
+/// data (see file comment).  All metadata is validated here; corruption
+/// in lazily-read payloads surfaces through SnapshotStatus() at query
+/// time.
+Result<TripleStore> OpenStoreSnapshot(const std::string& path,
+                                      const OpenSnapshotOptions& options = {},
+                                      OpenSnapshotStats* stats = nullptr);
+
+/// Total lazy segment decodes performed by `store`'s relations so far
+/// — 0 right after OpenStoreSnapshot, the open-is-lazy observable.
+size_t SnapshotDecodeCount(const TripleStore& store);
+
+}  // namespace trial
+
+#endif  // TRIAL_STORAGE_SEGMENT_STORE_SNAPSHOT_H_

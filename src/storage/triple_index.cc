@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/segment/segment_source.h"
+
 namespace trial {
 namespace {
 
@@ -71,6 +73,25 @@ const std::vector<Triple>& TripleIndexCache::Permutation(
     osp_built = true;
   }
   return osp;
+}
+
+const std::vector<Triple>& TripleIndexCache::SegmentPermutation(
+    const TripleSegmentSource& src, IndexOrder order) {
+  std::vector<Triple>* slot = nullptr;
+  bool* built = nullptr;
+  switch (order) {
+    case IndexOrder::kSPO: slot = &base; built = &base_built; break;
+    case IndexOrder::kPOS: slot = &pos; built = &pos_built; break;
+    case IndexOrder::kOSP: slot = &osp; built = &osp_built; break;
+  }
+  if (!*built) {
+    // A failed decode leaves the slot empty and marks it built: the
+    // sticky diagnostic on the source is the truth, and re-decoding a
+    // corrupt segment on every probe would only repeat the failure.
+    (void)src.Decode(order, slot);
+    *built = true;
+  }
+  return *slot;
 }
 
 const TripleSetStats& TripleIndexCache::Stats(const std::vector<Triple>& spo) {

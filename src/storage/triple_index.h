@@ -28,6 +28,8 @@
 
 namespace trial {
 
+class TripleSegmentSource;
+
 /// The three maintained permutations.  The enumerator value is the index
 /// of the leading (most significant) column: 0 = s, 1 = p, 2 = o.
 enum class IndexOrder : uint8_t { kSPO = 0, kPOS = 1, kOSP = 2 };
@@ -88,6 +90,11 @@ struct TripleIndexCache {
   std::vector<Triple> pos, osp;
   bool pos_built = false;
   bool osp_built = false;
+  // For a snapshot-backed set the SPO vector itself is lazy too: it is
+  // decoded here, not stored in the TripleSet, so copies share the one
+  // decode the same way they share the sorted permutations.
+  std::vector<Triple> base;
+  bool base_built = false;
   TripleSetStats stats;
   bool stats_built = false;
 
@@ -95,6 +102,13 @@ struct TripleIndexCache {
   /// (`order` must be kPOS or kOSP; kSPO is the base vector itself).
   const std::vector<Triple>& Permutation(const std::vector<Triple>& spo,
                                          IndexOrder order);
+
+  /// Snapshot-backed variant: the permutation decoded straight from
+  /// `src`'s compressed segment for `order` — O(n), no sort, the
+  /// segments were written sorted.  On corruption the sticky diagnostic
+  /// lands on `src` and the returned vector is empty.
+  const std::vector<Triple>& SegmentPermutation(const TripleSegmentSource& src,
+                                                IndexOrder order);
 
   bool Built(IndexOrder order) const {
     switch (order) {

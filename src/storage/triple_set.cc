@@ -10,8 +10,38 @@ TripleSet::TripleSet(std::vector<Triple> triples)
     : staged_(std::move(triples)),
       cache_(std::make_shared<TripleIndexCache>()) {}
 
+TripleSet TripleSet::FromSnapshot(
+    std::shared_ptr<const TripleSegmentSource> source) {
+  TripleSet r;
+  // The writer persisted exact stats; pre-seeding them means planning
+  // and EXPLAIN never trigger a decode.
+  r.cache_->stats = source->stats();
+  r.cache_->stats_built = true;
+  r.source_ = std::move(source);
+  return r;
+}
+
+Status TripleSet::SnapshotHealth() const {
+  if (!decode_error_.ok()) return decode_error_;
+  return source_ != nullptr ? source_->status() : Status::OK();
+}
+
+void TripleSet::Promote() const {
+  // Copy-on-write: this set is about to diverge from the snapshot.
+  // Materialize SPO (reusing the shared cache's decode when present),
+  // then drop the source; other copies keep reading the snapshot.
+  if (cache_ != nullptr && cache_->base_built) {
+    triples_ = cache_->base;
+  } else {
+    (void)source_->Decode(IndexOrder::kSPO, &triples_);
+  }
+  if (decode_error_.ok()) decode_error_ = source_->status();
+  source_.reset();
+}
+
 void TripleSet::Normalize() const {
   if (staged_.empty()) return;
+  if (source_ != nullptr) Promote();
   // Sort only the staged batch and merge it into the already-sorted
   // body: O(n + k log k) per batch instead of O((n+k) log (n+k)).
   std::sort(staged_.begin(), staged_.end());
@@ -29,14 +59,15 @@ void TripleSet::Normalize() const {
 }
 
 bool TripleSet::Contains(const Triple& t) const {
-  Normalize();
-  return std::binary_search(triples_.begin(), triples_.end(), t);
+  const std::vector<Triple>& v = OrderVector(IndexOrder::kSPO);
+  return std::binary_search(v.begin(), v.end(), t);
 }
 
 const std::vector<Triple>& TripleSet::OrderVector(IndexOrder order) const {
   Normalize();
-  if (order == IndexOrder::kSPO) return triples_;
   if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
+  if (source_ != nullptr) return cache_->SegmentPermutation(*source_, order);
+  if (order == IndexOrder::kSPO) return triples_;
   return cache_->Permutation(triples_, order);
 }
 
@@ -65,6 +96,9 @@ TripleRange TripleSet::LookupPair(int col_a, ObjId va, int col_b,
 bool TripleSet::IndexAmortized(IndexOrder order) const {
   if (order == IndexOrder::kSPO) return true;
   Normalize();  // pending inserts would detach the cell on first read
+  // Snapshot permutations were sorted at save time: "building" one is a
+  // linear decode, never an O(n log n) sort, so it always pays off.
+  if (source_ != nullptr) return true;
   if (cache_ == nullptr) return false;
   return cache_->Built(order) || cache_.use_count() > 1;
 }
@@ -99,7 +133,8 @@ std::vector<TripleRange> TripleSet::Partitions(IndexOrder order,
 const TripleSetStats& TripleSet::Stats() const {
   Normalize();
   if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
-  return cache_->Stats(triples_);
+  if (cache_->stats_built) return cache_->stats;  // snapshot pre-seeds these
+  return cache_->Stats(OrderVector(IndexOrder::kSPO));
 }
 
 TripleSet TripleSet::Union(const TripleSet& a, const TripleSet& b) {

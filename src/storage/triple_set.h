@@ -12,6 +12,15 @@
 // of a TripleStore shares the store's cache cell, so an index built
 // through any copy benefits every later copy of the same relation.
 // Mutating a copy detaches it onto a fresh cell.
+//
+// Snapshot backing: a set opened from an on-disk store snapshot holds a
+// TripleSegmentSource instead of decoded vectors.  size() and Stats()
+// come from the persisted metadata without touching triple data; the
+// first scan/probe of a permutation decodes that segment (O(n), no
+// sort) into the shared cache cell.  Mutation promotes copy-on-write:
+// the SPO vector is decoded (or copied from the cache), the source is
+// dropped, and the set behaves like any in-memory set from then on —
+// other copies still sharing the source are unaffected.
 
 #ifndef TRIAL_STORAGE_TRIPLE_SET_H_
 #define TRIAL_STORAGE_TRIPLE_SET_H_
@@ -20,8 +29,10 @@
 #include <memory>
 #include <vector>
 
+#include "storage/segment/segment_source.h"
 #include "storage/triple.h"
 #include "storage/triple_index.h"
+#include "util/status.h"
 
 namespace trial {
 
@@ -31,6 +42,12 @@ class TripleSet {
   TripleSet() : cache_(std::make_shared<TripleIndexCache>()) {}
   /// Takes any vector; sorts and dedups it.
   explicit TripleSet(std::vector<Triple> triples);
+
+  /// A set backed by a snapshot segment source: no triple data is
+  /// decoded here; the persisted exact stats are pre-seeded into the
+  /// cache so planning is free.
+  static TripleSet FromSnapshot(
+      std::shared_ptr<const TripleSegmentSource> source);
 
   /// Adds a triple (staged; set is normalized on first read access).
   void Insert(const Triple& t) {
@@ -59,17 +76,19 @@ class TripleSet {
   /// Membership test.
   bool Contains(const Triple& t) const;
 
-  /// Number of triples.
+  /// Number of triples.  For a snapshot-backed set this reads the
+  /// persisted count — no triple data is decoded.
   size_t size() const {
+    if (source_ != nullptr && staged_.empty()) return source_->num_triples();
     Normalize();
     return triples_.size();
   }
   bool empty() const { return size() == 0; }
 
-  /// Sorted (s,p,o) view.  Stable until the next Insert.
+  /// Sorted (s,p,o) view.  Stable until the next Insert.  For a
+  /// snapshot-backed set this decodes the SPO segment on first use.
   const std::vector<Triple>& triples() const {
-    Normalize();
-    return triples_;
+    return OrderVector(IndexOrder::kSPO);
   }
 
   std::vector<Triple>::const_iterator begin() const { return triples().begin(); }
@@ -114,9 +133,14 @@ class TripleSet {
   void Materialize(IndexOrder order) const { OrderVector(order); }
 
   /// True when `order` can be probed without a build (already built, or
-  /// the SPO base).  Pending staged inserts make every order not-ready.
+  /// the SPO base).  Pending staged inserts make every order not-ready;
+  /// a snapshot-backed set's SPO is not ready until its first decode.
   bool IndexReady(IndexOrder order) const {
-    return staged_.empty() && cache_ != nullptr && cache_->Built(order);
+    if (!staged_.empty() || cache_ == nullptr) return false;
+    if (source_ != nullptr && order == IndexOrder::kSPO) {
+      return cache_->base_built;
+    }
+    return cache_->Built(order);
   }
 
   /// True when probing `order` is free or its build will be amortized:
@@ -140,6 +164,31 @@ class TripleSet {
                : nullptr;
   }
 
+  /// True while the set reads through an on-disk snapshot segment
+  /// (mutation promotes it to an ordinary in-memory set).
+  bool snapshot_backed() const { return source_ != nullptr; }
+
+  /// The backing source, or nullptr for in-memory sets (test hook for
+  /// decode_count / sharing assertions).
+  const TripleSegmentSource* snapshot_source() const { return source_.get(); }
+
+  /// OK unless a lazy segment decode hit corruption — then the sticky
+  /// first diagnostic.  Checked by every evaluator entry point via
+  /// TripleStore::SnapshotStatus() so corrupt snapshots fail queries
+  /// loudly instead of returning empty/partial results.
+  Status SnapshotHealth() const;
+
+  /// Forces a snapshot-backed set to decode its data and reports the
+  /// resulting health.  A plan can pass a relation through untouched
+  /// (a bare index scan), so evaluator entry points call this on the
+  /// *result* before returning it — otherwise a corrupt triple segment
+  /// would surface as an empty result instead of an error when the
+  /// caller first reads it.  No-op (OK) for in-memory sets.
+  Status VerifyMaterialized() const {
+    if (source_ != nullptr) (void)OrderVector(IndexOrder::kSPO);
+    return SnapshotHealth();
+  }
+
   /// Set union / difference / intersection (merge on sorted vectors).
   static TripleSet Union(const TripleSet& a, const TripleSet& b);
   static TripleSet Difference(const TripleSet& a, const TripleSet& b);
@@ -150,7 +199,13 @@ class TripleSet {
 
  private:
   void Normalize() const;
-  /// The permutation vector backing `order` (triples_ for SPO).
+  /// Copy-on-write promotion: materializes triples_ from the snapshot
+  /// (cache copy or fresh decode) and drops the source.  Any decode
+  /// failure is captured into decode_error_ so SnapshotHealth() keeps
+  /// reporting it after the source is gone.
+  void Promote() const;
+  /// The permutation vector backing `order` (triples_ for SPO, or the
+  /// shared cache's segment decode for snapshot-backed sets).
   const std::vector<Triple>& OrderVector(IndexOrder order) const;
 
   mutable std::vector<Triple> triples_;  // sorted, unique
@@ -158,6 +213,12 @@ class TripleSet {
   // Shared with copies; detached (fresh cell) whenever triples_ changes.
   // Never null except after being moved from; OrderVector/Stats re-create.
   mutable std::shared_ptr<TripleIndexCache> cache_;
+  // Snapshot backing; shared by every copy of the relation.  Null for
+  // in-memory sets and after copy-on-write promotion.
+  mutable std::shared_ptr<const TripleSegmentSource> source_;
+  // Sticky record of a promotion-time decode failure (the source that
+  // carried the diagnostic is gone after promotion).
+  mutable Status decode_error_ = Status::OK();
 };
 
 }  // namespace trial

@@ -34,6 +34,26 @@ RelId TripleStore::AddRelation(std::string_view name) {
   return id;
 }
 
+void TripleStore::AdoptFrozenDictionary(FrozenStrings frozen) {
+  size_t count = frozen.count;
+  objects_.AdoptFrozen(std::move(frozen));
+  if (count > rho_.size()) rho_.resize(count);
+}
+
+RelId TripleStore::AddSnapshotRelation(
+    std::string_view name, std::shared_ptr<const TripleSegmentSource> source) {
+  RelId id = AddRelation(name);
+  relations_[id] = TripleSet::FromSnapshot(std::move(source));
+  return id;
+}
+
+Status TripleStore::SnapshotStatus() const {
+  for (const TripleSet& r : relations_) {
+    TRIAL_RETURN_IF_ERROR(r.SnapshotHealth());
+  }
+  return Status::OK();
+}
+
 const TripleSet* TripleStore::FindRelation(std::string_view name) const {
   auto it = rel_index_.find(std::string(name));
   return it == rel_index_.end() ? nullptr : &relations_[it->second];

@@ -67,6 +67,23 @@ class TripleStore {
   /// Creates (or finds) a named relation; returns its id.
   RelId AddRelation(std::string_view name);
 
+  // ---- snapshot open hooks (see storage/segment/store_snapshot.h) ----
+
+  /// Adopts a frozen (mmap-backed) dictionary block as object ids
+  /// [0, frozen.count), with null rho for each.  Pre: the store is
+  /// empty of objects.
+  void AdoptFrozenDictionary(FrozenStrings frozen);
+
+  /// Creates relation `name` backed by a snapshot segment source (no
+  /// triple data decoded).  Pre: the relation does not exist yet.
+  RelId AddSnapshotRelation(std::string_view name,
+                            std::shared_ptr<const TripleSegmentSource> source);
+
+  /// OK unless some lazy segment decode hit corruption — then the first
+  /// relation's sticky diagnostic.  Evaluator entry points check this
+  /// after executing so corrupt snapshots fail queries loudly.
+  Status SnapshotStatus() const;
+
   /// Relation lookup by name; nullptr when absent.
   const TripleSet* FindRelation(std::string_view name) const;
   TripleSet* MutableRelation(std::string_view name);

@@ -42,11 +42,22 @@ struct WriterGuard {
 
 }  // namespace
 
+void StringInterner::AdoptFrozen(FrozenStrings frozen) {
+  WriterGuard guard(check_);
+  assert(empty() && index_.empty() &&
+         "AdoptFrozen requires an empty interner");
+  frozen_ = std::move(frozen);
+  // Defer the hash index until something actually looks a name up:
+  // snapshot open must not touch the string bytes.
+  index_built_ = frozen_.count == 0;
+}
+
 InternId StringInterner::Intern(std::string_view s) {
   WriterGuard guard(check_);
+  if (!index_built_) EnsureIndex();
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  InternId id = static_cast<InternId>(strings_.size());
+  InternId id = static_cast<InternId>(size());
   strings_.emplace_back(s);
   index_.emplace(std::string_view(strings_.back()), id);
   return id;
@@ -54,6 +65,12 @@ InternId StringInterner::Intern(std::string_view s) {
 
 #ifndef NDEBUG
 InternId StringInterner::TryGet(std::string_view s) const {
+  if (!index_built_) {
+    // The lazy index build is a mutation under the contract; take the
+    // writer role for it so an overlapping access asserts loudly.
+    WriterGuard guard(check_);
+    EnsureIndex();
+  }
   ReaderGuard guard(check_);
   auto it = index_.find(s);
   return it == index_.end() ? kInvalidIntern : it->second;
@@ -61,16 +78,28 @@ InternId StringInterner::TryGet(std::string_view s) const {
 
 std::string_view StringInterner::Get(InternId id) const {
   ReaderGuard guard(check_);
-  return strings_[id];
+  return id < frozen_.count
+             ? std::string_view(frozen_.bytes + frozen_.offsets[id],
+                                frozen_.offsets[id + 1] - frozen_.offsets[id])
+             : std::string_view(strings_[id - frozen_.count]);
 }
 #endif
 
-void StringInterner::RebuildIndex() {
+void StringInterner::EnsureIndex() const {
+  if (index_built_) return;
   index_.clear();
-  index_.reserve(strings_.size());
-  for (size_t i = 0; i < strings_.size(); ++i) {
-    index_.emplace(std::string_view(strings_[i]), static_cast<InternId>(i));
+  index_.reserve(size());
+  for (size_t i = 0; i < frozen_.count; ++i) {
+    index_.emplace(
+        std::string_view(frozen_.bytes + frozen_.offsets[i],
+                         frozen_.offsets[i + 1] - frozen_.offsets[i]),
+        static_cast<InternId>(i));
   }
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    index_.emplace(std::string_view(strings_[i]),
+                   static_cast<InternId>(frozen_.count + i));
+  }
+  index_built_ = true;
 }
 
 std::vector<InternId> StringInterner::MergeFrom(const StringInterner& other) {

@@ -18,6 +18,16 @@
 // MergeFrom, Reserve, assignment — is single-writer: it must never
 // overlap another mutation OR a lookup.  Debug builds assert-enforce
 // the rule (see AccessCheck below); release builds pay nothing.
+//
+// Snapshot (frozen) mode: an interner opened from an on-disk store
+// snapshot serves ids [0, frozen count) directly off the mmap'd
+// dictionary segment — Get(id) is two loads, no decode, no copies —
+// and the name -> id hash index over those strings is built lazily on
+// the first TryGet/Intern, so *opening* a snapshot touches no string
+// bytes.  That first lookup counts as a mutation under the contract
+// above: warm it (any TryGet) before handing the dictionary to
+// concurrent readers.  Strings interned after open go to the ordinary
+// deque, with ids continuing past the frozen block.
 
 #ifndef TRIAL_UTIL_INTERNER_H_
 #define TRIAL_UTIL_INTERNER_H_
@@ -25,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -54,27 +65,46 @@ using InternId = uint32_t;
 /// Sentinel returned by TryGet for unknown strings.
 inline constexpr InternId kInvalidIntern = UINT32_MAX;
 
+/// A validated, immutable dictionary block inside an mmap'd snapshot:
+/// `count` strings, string i spanning bytes [offsets[i], offsets[i+1]).
+/// The open path validated monotonicity and bounds, so Get can slice
+/// views without further checks; `keepalive` pins the mapping.
+struct FrozenStrings {
+  std::shared_ptr<const void> keepalive;
+  const char* bytes = nullptr;
+  const uint64_t* offsets = nullptr;  ///< count + 1 entries
+  size_t count = 0;
+};
+
 /// Bidirectional string <-> id dictionary.  Const lookups are safe
 /// concurrently once built; mutation is single-writer and must not
 /// overlap any other access (see the contract above).
 class StringInterner {
  public:
   StringInterner() = default;
-  // The index's keys are views into this object's own storage, so a
-  // copy must re-key against its copied strings (moves are fine: deque
-  // elements don't relocate).
-  StringInterner(const StringInterner& other) : strings_(other.strings_) {
-    RebuildIndex();
-  }
+  // The index's keys are views into this object's own storage (and the
+  // shared frozen block), so a copy cannot reuse the original's index;
+  // it is re-keyed lazily on the copy's first lookup (moves are fine:
+  // deque elements don't relocate and the frozen block is immutable).
+  StringInterner(const StringInterner& other)
+      : frozen_(other.frozen_), index_built_(false),
+        strings_(other.strings_) {}
   StringInterner& operator=(const StringInterner& other) {
     if (this != &other) {
+      frozen_ = other.frozen_;
       strings_ = other.strings_;
-      RebuildIndex();
+      index_.clear();
+      index_built_ = false;
     }
     return *this;
   }
   StringInterner(StringInterner&&) = default;
   StringInterner& operator=(StringInterner&&) = default;
+
+  /// Adopts a frozen dictionary block as ids [0, frozen.count).  Pre:
+  /// the interner is empty.  The hash index over the block is built on
+  /// the first lookup, not here (see the snapshot-mode contract above).
+  void AdoptFrozen(FrozenStrings frozen);
 
   /// Returns the id for `s`, interning it if new.
   InternId Intern(std::string_view s);
@@ -85,6 +115,7 @@ class StringInterner {
   /// out-of-line to attach the contract-asserting guards.)
 #ifdef NDEBUG
   InternId TryGet(std::string_view s) const {
+    if (!index_built_) EnsureIndex();
     auto it = index_.find(s);
     return it == index_.end() ? kInvalidIntern : it->second;
   }
@@ -94,7 +125,13 @@ class StringInterner {
 
   /// Returns the string for an id.  Pre: id < size().
 #ifdef NDEBUG
-  std::string_view Get(InternId id) const { return strings_[id]; }
+  std::string_view Get(InternId id) const {
+    return id < frozen_.count
+               ? std::string_view(frozen_.bytes + frozen_.offsets[id],
+                                  frozen_.offsets[id + 1] -
+                                      frozen_.offsets[id])
+               : std::string_view(strings_[id - frozen_.count]);
+  }
 #else
   std::string_view Get(InternId id) const;
 #endif
@@ -110,15 +147,22 @@ class StringInterner {
   /// the remap into the store's global dictionary.
   std::vector<InternId> MergeFrom(const StringInterner& other);
 
-  size_t size() const { return strings_.size(); }
-  bool empty() const { return strings_.empty(); }
+  size_t size() const { return frozen_.count + strings_.size(); }
+  bool empty() const { return size() == 0; }
 
  private:
-  void RebuildIndex();
+  /// Builds the name -> id index over the frozen block and the deque.
+  /// Effectively a mutation (first-lookup warm-up or post-copy rekey);
+  /// callers hold the writer role or are documented as such.
+  void EnsureIndex() const;
 
-  // Keys are views into strings_; a deque keeps them stable across
-  // growth.
-  std::unordered_map<std::string_view, InternId> index_;
+  // Ids [0, frozen_.count) live in the snapshot mapping; later ids in
+  // strings_ (whose deque keeps views stable across growth).
+  FrozenStrings frozen_;
+  // Keys are views into frozen_/strings_.  Mutable plus the _built
+  // flag: the index is a lazily-(re)built cache over immutable storage.
+  mutable std::unordered_map<std::string_view, InternId> index_;
+  mutable bool index_built_ = true;
   std::deque<std::string> strings_;
   AccessCheck check_;
 };

@@ -156,6 +156,33 @@ TEST(PlannerGolden, PlanningDoesNotForceIndexBuilds) {
   EXPECT_GT(q->est_rows, 0);
 }
 
+TEST(PlannerGolden, UniverseAndComplementEstimates) {
+  TripleStore store = SkewedStore(512);
+  double n = static_cast<double>(store.NumObjects());
+  double e_rows = static_cast<double>(store.FindRelation("E")->size());
+
+  // U itself: the full cube, n distinct values per column.
+  PlanPtr u = PlanExpr(Expr::Universe(), store);
+  EXPECT_EQ(u->op, PlanOp::kUniverseRel);
+  EXPECT_DOUBLE_EQ(u->est_rows, n * n * n);
+  EXPECT_DOUBLE_EQ(u->est_distinct[0], n);
+
+  // Complement e^c = U − e: containment is exact, so the estimate is
+  // the difference — not the old |U| upper bound.
+  PlanPtr c = PlanExpr(Expr::Diff(Expr::Universe(), Expr::Rel("E")), store);
+  EXPECT_EQ(c->op, PlanOp::kMinusOp);
+  EXPECT_DOUBLE_EQ(c->est_rows, n * n * n - e_rows);
+  EXPECT_DOUBLE_EQ(c->est_distinct[0], n);
+
+  // e − U is empty (every triple of e is over O).
+  PlanPtr z = PlanExpr(Expr::Diff(Expr::Rel("E"), Expr::Universe()), store);
+  EXPECT_DOUBLE_EQ(z->est_rows, 0.0);
+
+  // The generic case keeps the |a| upper bound.
+  PlanPtr g = PlanExpr(Expr::Diff(Expr::Rel("E"), Expr::Rel("E")), store);
+  EXPECT_DOUBLE_EQ(g->est_rows, e_rows);
+}
+
 TEST(PlannerGolden, UnknownRelationPlansAndFailsAtExecution) {
   TripleStore store = SkewedStore(64);
   PlanPtr p = PlanExpr(CompositionJoin(Expr::Rel("E"), Expr::Rel("nope")),
