@@ -34,6 +34,7 @@ void Render(const PlanNode& n, int depth, std::string* out) {
       break;
     case PlanOp::kIndexProbeJoin:
     case PlanOp::kHashJoin:
+    case PlanOp::kMergeJoin:
       out->append(" [").append(n.spec.ToString()).append("]");
       break;
     case PlanOp::kFixpointStar:
@@ -46,8 +47,14 @@ void Render(const PlanNode& n, int depth, std::string* out) {
     default:
       break;
   }
-  // Predicted access path (probe joins and indexed selections).
-  if (n.access.prefix > 0) {
+  // Predicted access path (probe joins and indexed selections); merge
+  // joins render the two sorted-run orders they walk instead.
+  if (n.op == PlanOp::kMergeJoin) {
+    out->append(" via=")
+        .append(IndexOrderName(static_cast<IndexOrder>(n.merge_lcol)))
+        .append("/")
+        .append(IndexOrderName(static_cast<IndexOrder>(n.merge_rcol)));
+  } else if (n.access.prefix > 0) {
     out->append(" via=").append(IndexOrderName(n.access.order));
   }
   out->append(" est=").append(FmtEst(n.est_rows));

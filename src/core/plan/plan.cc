@@ -149,6 +149,7 @@ const char* PlanOpName(PlanOp op) {
     case PlanOp::kSelectFilter: return "SelectFilter";
     case PlanOp::kIndexProbeJoin: return "IndexProbeJoin";
     case PlanOp::kHashJoin: return "HashJoin";
+    case PlanOp::kMergeJoin: return "MergeJoin";
     case PlanOp::kUnionOp: return "UnionOp";
     case PlanOp::kMinusOp: return "MinusOp";
     case PlanOp::kFixpointStar: return "FixpointStar";

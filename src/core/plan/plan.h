@@ -10,9 +10,19 @@
 //   SelectFilter    σ_{θ,η}(e)       (indexed probe or filter scan)
 //   IndexProbeJoin  e ⋈ e            (probe the build side's permutation)
 //   HashJoin        e ⋈ e            (per-call hash table on key columns)
+//   MergeJoin       e ⋈ e            (walk two key-sorted runs in step)
 //   UnionOp/MinusOp e ∪ e, e − e
 //   FixpointStar    (e ⋈)*, (⋈ e)*   (semi-naive delta iteration)
 //   ReachFastPath   reachTA= stars   (Procedures 3 / 4)
+//
+// Ordering property: every operator's output, once normalized, is
+// sorted on its own column 0 (the TripleSet representation *is* the SPO
+// permutation), and an IndexScan can additionally serve any column as a
+// sorted run through the store-shared POS/OSP permutations.  The DP
+// join reorderer (reorder.cc) propagates exactly this property — a
+// merge join needs its key class in column 0 of an intermediate, or any
+// column of a base relation — and the executor re-verifies it through
+// TripleSet::IndexAmortized before walking the runs.
 //
 // Each node carries the planner's cardinality estimate and access-path
 // choice; the executor (plan_exec.cc) fills in actual row counts and
@@ -23,11 +33,13 @@
 // decisions unit-testable and shared with the Datalog engine's
 // leading-atom matcher (BoundProbe / EstimateBoundMatches).
 //
-// Contract: executing the plan of an expression is byte-identical to the
-// pre-plan smart evaluator on every store and at every thread count —
-// the planner's predictions steer nothing at runtime except buffer
-// pre-sizing; the executor re-checks every cost rule against actual
-// cardinalities, exactly as the inline code did.
+// Contract: executing the plan of an expression produces the same
+// normalized result set as the naive evaluator on every store and at
+// every thread count.  Join order and strategy (probe / hash / merge)
+// are chosen by the planner from statistics, and the executor re-checks
+// every cost rule against actual cardinalities before committing to a
+// strategy — but whatever it picks, each kernel's output is identical
+// for any thread count (deterministic partitioning, ordered merges).
 
 #ifndef TRIAL_CORE_PLAN_PLAN_H_
 #define TRIAL_CORE_PLAN_PLAN_H_
@@ -175,6 +187,7 @@ enum class PlanOp : uint8_t {
   kSelectFilter,    ///< σ_{θ,η}(child) — indexed probe or filter scan
   kIndexProbeJoin,  ///< child ⋈ child, build side consumed via an index
   kHashJoin,        ///< child ⋈ child, per-call hash table on the keys
+  kMergeJoin,       ///< child ⋈ child, both sides walked as sorted runs
   kUnionOp,         ///< child ∪ child
   kMinusOp,         ///< child − child
   kFixpointStar,    ///< (child ⋈)* / (⋈ child)* — semi-naive iteration
@@ -218,6 +231,14 @@ struct PlanNode {
   JoinSpec spec;            ///< joins + stars; selections use spec.cond
   bool star_right = true;   ///< kFixpointStar: (e ⋈)* vs (⋈ e)*
   bool reach_same_middle = false;  ///< kReachFastPath: Procedure 4 vs 3
+
+  /// kMergeJoin: the key columns the two sorted runs are walked on.
+  /// The left run is Scan(IndexOrder(merge_lcol)) — the permutation
+  /// whose leading column is the key — and likewise for the right; the
+  /// executor falls back to probe/hash when either run's permutation is
+  /// not amortized (see the ordering property in the file comment).
+  int merge_lcol = 0;
+  int merge_rcol = 0;
 
   /// Predicted access path: the probed permutation for
   /// kIndexProbeJoin / indexed kSelectFilter, kSPO otherwise.

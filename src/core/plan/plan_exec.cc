@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -103,6 +105,13 @@ class Executor {
         NoteRows(*n.children[1], b);
         return Join(n, a, b);
       }
+      case PlanOp::kMergeJoin: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet a, Exec(*n.children[0]));
+        TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
+        NoteRows(*n.children[0], a);
+        NoteRows(*n.children[1], b);
+        return MergeOrFallback(n, a, b);
+      }
       case PlanOp::kReachFastPath: {
         TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
         NoteRows(*n.children[0], base);
@@ -170,6 +179,142 @@ class Executor {
                          out->push_back(spec.Output(a, b));
                        }
                      });
+  }
+
+  // Merge join: both inputs are walked as runs sorted on their key
+  // column — the left through IndexOrder(merge_lcol), the right through
+  // IndexOrder(merge_rcol) — with no hash table and no per-probe index
+  // descent.  The planner promised both runs are cheap (the ordering
+  // property); the executor re-verifies through IndexAmortized and
+  // falls back to the probe/hash path when the promise does not hold
+  // for the actual inputs (e.g. a fallback-mutated set), or when the
+  // left side came out so small that per-probe index descents beat
+  // streaming the whole right run.
+  Result<TripleSet> MergeOrFallback(PlanNode& n, const TripleSet& l,
+                                    const TripleSet& r) {
+    const int lc = n.merge_lcol, rc = n.merge_rcol;
+    const IndexOrder lorder = static_cast<IndexOrder>(lc);
+    const IndexOrder rorder = static_cast<IndexOrder>(rc);
+    // The planned key must really be an exact object equality between
+    // these columns — defensive: a plan node altered or built by hand
+    // degrades to the generic join instead of producing wrong results.
+    JoinPlan plan = JoinPlan::Build(n.spec.cond);
+    bool key_ok = false;
+    for (const JoinPlan::KeyComp& k : plan.key) {
+      key_ok = key_ok || (!k.data && PosColumn(k.lpos) == lc &&
+                          PosColumn(k.rpos) == rc);
+    }
+    const double ln = static_cast<double>(l.size());
+    const double rn = static_cast<double>(r.size());
+    const bool probe_better = ln * std::log2(rn + 2.0) < ln + rn;
+    if (!key_ok || probe_better || !l.IndexAmortized(lorder) ||
+        !r.IndexAmortized(rorder)) {
+      return Join(n, l, r);
+    }
+    n.runtime.strategy = "merge";
+    return MergeLoop(n, l, r, plan);
+  }
+
+  // The merge kernel.  Parallel variant: the left run is cut into
+  // contiguous key-ordered slices (TripleSet's deterministic partition
+  // API); each slice binary-searches its first key into the right run
+  // once, then advances a private cursor monotonically.  Every left
+  // triple sees exactly the candidates the serial walk would hand it,
+  // and slice buffers merge in slice order, so the output is identical
+  // for any thread count.  The result-size guard mirrors ProbeLoop.
+  Result<TripleSet> MergeLoop(PlanNode& n, const TripleSet& l,
+                              const TripleSet& r, const JoinPlan& plan) {
+    const JoinSpec& spec = n.spec;
+    const int lc = n.merge_lcol, rc = n.merge_rcol;
+    const IndexOrder lorder = static_cast<IndexOrder>(lc);
+    const IndexOrder rorder = static_cast<IndexOrder>(rc);
+    // Lazy permutation builds are single-writer: materialize both runs
+    // before any concurrent reads.
+    l.Materialize(lorder);
+    r.Materialize(rorder);
+    TripleRange run = r.Scan(rorder);
+    // `match` walks one left slice.  Returns false when the overflow
+    // flag tripped (parallel only; serial passes a guard that errors).
+    auto match = [&](TripleRange slice, std::vector<Triple>* out,
+                     const auto& guard) {
+      const Triple* cur = run.begin();
+      if (!slice.empty()) {
+        ObjId first = (*slice.begin())[lc];
+        cur = std::lower_bound(
+            run.begin(), run.end(), first,
+            [rc](const Triple& t, ObjId v) { return t[rc] < v; });
+      }
+#ifndef NDEBUG
+      // Executor-side verification of the planner's ordering claim:
+      // both runs must really be non-decreasing on their key columns.
+      ObjId prev = 0;
+      bool first = true;
+#endif
+      for (const Triple& a : slice) {
+#ifndef NDEBUG
+        assert(first || a[lc] >= prev);
+        prev = a[lc];
+        first = false;
+        assert(cur == run.end() || cur == run.begin() ||
+               (*(cur - 1))[rc] <= (*cur)[rc]);
+#endif
+        if (!guard(out->size())) return false;
+        if (!plan.PassesLeft(a, store_)) continue;
+        ObjId k = a[lc];
+        while (cur != run.end() && (*cur)[rc] < k) ++cur;
+        for (const Triple* b = cur; b != run.end() && (*b)[rc] == k; ++b) {
+          if (!spec.cond.Holds(a, *b, store_)) continue;
+          out->push_back(spec.Output(a, *b));
+        }
+      }
+      return true;
+    };
+    if (limits_.exec.ShouldParallelize(l.size())) {
+      size_t threads = limits_.exec.EffectiveThreads();
+      std::vector<TripleRange> slices =
+          l.Partitions(lorder, threads * kChunksPerThread);
+      std::vector<std::vector<Triple>> bufs(slices.size());
+      std::atomic<size_t> emitted{0};
+      std::atomic<bool> overflow{false};
+      ParallelFor(slices.size(), threads, [&](size_t c) {
+        size_t flushed = 0;
+        match(slices[c], &bufs[c], [&](size_t produced) {
+          if (overflow.load(std::memory_order_relaxed)) return false;
+          if (produced - flushed >= kGuardStride) {
+            size_t total = emitted.fetch_add(produced - flushed,
+                                             std::memory_order_relaxed) +
+                           (produced - flushed);
+            flushed = produced;
+            if (total > limits_.max_result_triples) {
+              overflow.store(true, std::memory_order_relaxed);
+              return false;
+            }
+          }
+          return true;
+        });
+      });
+      size_t total = 0;
+      for (const std::vector<Triple>& b : bufs) total += b.size();
+      if (overflow.load() || total > limits_.max_result_triples) {
+        return Status::ResourceExhausted("join result too large");
+      }
+      std::vector<Triple> merged;
+      merged.reserve(total);
+      for (std::vector<Triple>& b : bufs) {
+        merged.insert(merged.end(), b.begin(), b.end());
+      }
+      return TripleSet(std::move(merged));
+    }
+    std::vector<Triple> out;
+    bool fits = true;
+    match(l.Scan(lorder), &out, [&](size_t produced) {
+      fits = produced <= limits_.max_result_triples;
+      return fits;
+    });
+    if (!fits || out.size() > limits_.max_result_triples) {
+      return Status::ResourceExhausted("join result too large");
+    }
+    return TripleSet(std::move(out));
   }
 
   // The join probe loop: applies `match` (which appends verified output

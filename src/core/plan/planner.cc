@@ -40,6 +40,7 @@
 
 #include "core/fragment.h"
 #include "core/plan/plan.h"
+#include "core/plan/reorder.h"
 
 namespace trial {
 namespace plan {
@@ -218,6 +219,14 @@ class Planner {
         return node;
       }
       case ExprKind::kJoin: {
+        // Cost-based reordering first: flatten the maximal ⋈ region and
+        // let the DP pick a bushy order with merge/probe/hash per node.
+        // Falls back to the written order when the region is too large
+        // or its shape defeats the flattener (see reorder.cc).
+        if (PlanPtr reordered = ReorderJoinRegion(
+                e, store_, [this](const Expr& sub) { return Lower(sub); })) {
+          return reordered;
+        }
         node->spec = e.join_spec();
         PlanPtr l = Lower(*e.left());
         PlanPtr r = Lower(*e.right());

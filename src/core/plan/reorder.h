@@ -1,0 +1,28 @@
+// Cost-based join reordering: bottom-up dynamic programming over the
+// maximal ⋈ region of an expression (see reorder.cc for the model).
+
+#ifndef TRIAL_CORE_PLAN_REORDER_H_
+#define TRIAL_CORE_PLAN_REORDER_H_
+
+#include <functional>
+
+#include "core/expr.h"
+#include "core/plan/plan.h"
+
+namespace trial {
+namespace plan {
+
+/// Lowers the maximal join region rooted at `e` (which must be kJoin)
+/// into a cost-chosen bushy tree of MergeJoin / IndexProbeJoin /
+/// HashJoin operators.  `lower_leaf` lowers each non-join subexpression
+/// of the region (the region's leaves).  Returns nullptr when the
+/// region is too large for exhaustive enumeration — the caller then
+/// falls back to lowering the written order pairwise.
+PlanPtr ReorderJoinRegion(
+    const Expr& e, const TripleStore& store,
+    const std::function<PlanPtr(const Expr&)>& lower_leaf);
+
+}  // namespace plan
+}  // namespace trial
+
+#endif  // TRIAL_CORE_PLAN_REORDER_H_

@@ -19,6 +19,8 @@
 //   | kDictBytes     concatenated string bytes    [checked lazily] |
 //   | kRelationDir   names + counts + exact stats [checked at open]|
 //   | kRho           sparse (id, DataValue) pairs [checked at open]|
+//   | kAggStats x 1 per relation (optional)       [checked at open]|
+//   |   per-column top-k (value, frequency) pairs                  |
 //   | kTriples x 3 per relation (SPO / POS / OSP) [checked at first|
 //   |   decode]: delta/varint-compressed sorted triple runs        |
 //   +--------------------------------------------------------------+
@@ -58,6 +60,12 @@ enum SegmentKind : uint32_t {
   kSegRelationDir = 3,  ///< names, triple counts, exact per-column stats
   kSegRho = 4,          ///< sparse (ObjId, DataValue) attribute pairs
   kSegTriples = 5,      ///< one permutation of one relation, compressed
+  /// Per-relation aggregated projections (top-k frequent values per
+  /// column) for join-selectivity estimation.  Additive: readers treat
+  /// a missing section as "no aggregated stats" and fall back to the
+  /// independence heuristics, so snapshots written before this section
+  /// existed keep opening — the version number stays unchanged.
+  kSegAggStats = 6,
 };
 
 /// Sentinel for the TOC `rel` field of non-relation sections.

@@ -119,7 +119,8 @@ constexpr IndexOrder kAllOrders[3] = {IndexOrder::kSPO, IndexOrder::kPOS,
 // ---- save --------------------------------------------------------------
 
 Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
-                         SaveSnapshotStats* stats) {
+                         SaveSnapshotStats* stats,
+                         const SaveSnapshotOptions& options) {
   auto t0 = std::chrono::steady_clock::now();
   SegmentWriter writer;
 
@@ -157,6 +158,26 @@ Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
   writer.AddSection(kSegRelationDir, kSegNoRelation, 0, std::move(dir),
                     store.NumRelations());
 
+  // Aggregated projections: per relation, per column, the top-k
+  // (value, frequency) pairs.  A separate additive section (not part of
+  // the relation directory) so snapshots without it keep opening.
+  if (options.write_aggregated_stats) {
+    for (RelId r = 0; r < store.NumRelations(); ++r) {
+      const TripleSetStats& st = store.RelationStats(r);
+      std::vector<uint8_t> agg;
+      uint64_t entries = 0;
+      for (int c = 0; c < 3; ++c) {
+        AppendVarint(&agg, st.topk[c].size());
+        for (const ValueFreq& vf : st.topk[c]) {
+          AppendVarint(&agg, vf.value);
+          AppendVarint(&agg, vf.count);
+          ++entries;
+        }
+      }
+      writer.AddSection(kSegAggStats, r, 0, std::move(agg), entries);
+    }
+  }
+
   // Sparse rho.
   std::vector<uint8_t> rho;
   uint64_t num_values = 0;
@@ -190,7 +211,8 @@ Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
   // produced empty scans above — refuse to persist silent data loss.
   TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
 
-  size_t sections = 4 + 3 * store.NumRelations();
+  size_t sections = 4 + 3 * store.NumRelations() +
+                    (options.write_aggregated_stats ? store.NumRelations() : 0);
   TRIAL_RETURN_IF_ERROR(writer.WriteFile(path));
   if (stats != nullptr) {
     // Re-open cheaply for the authoritative size (header-declared).
@@ -295,6 +317,39 @@ Result<TripleStore> OpenStoreSnapshot(const std::string& path,
                        std::to_string(v) + " exceeds triple count)");
       }
       st.distinct[c] = v;
+    }
+    // Aggregated projections are additive: absent (old snapshot) means
+    // empty top-k lists, and estimation falls back to the independence
+    // heuristics.  Present sections are metadata-sized, so verify and
+    // decode them eagerly like the directory itself.
+    size_t ai = reader.Find(kSegAggStats, static_cast<uint32_t>(r));
+    if (ai != SegmentReader::kNotFound) {
+      TRIAL_RETURN_IF_ERROR(reader.VerifySection(ai));
+      const uint8_t* a = reader.SectionData(ai);
+      const uint8_t* aend = a + reader.Section(ai).bytes;
+      uint64_t entries = 0;
+      for (int c = 0; c < 3; ++c) {
+        uint64_t k;
+        if (!ReadVarint(&a, aend, &k) || k > st.distinct[c]) {
+          return corrupt("corrupt aggregated stats for relation '" + name +
+                         "'");
+        }
+        st.topk[c].reserve(k);
+        for (uint64_t i = 0; i < k; ++i) {
+          uint64_t value, count;
+          if (!ReadVarint(&a, aend, &value) || !ReadVarint(&a, aend, &count) ||
+              count > st.num_triples) {
+            return corrupt("corrupt aggregated stats for relation '" + name +
+                           "'");
+          }
+          st.topk[c].push_back(
+              {static_cast<ObjId>(value), static_cast<uint64_t>(count)});
+          ++entries;
+        }
+      }
+      if (a != aend || entries != reader.Section(ai).count) {
+        return corrupt("corrupt aggregated stats for relation '" + name + "'");
+      }
     }
     TripleSegmentSource::PermSegment perms[3];
     for (IndexOrder order : kAllOrders) {

@@ -34,6 +34,14 @@ struct SaveSnapshotStats {
   size_t sections = 0;     ///< number of payload sections
 };
 
+struct SaveSnapshotOptions {
+  /// Write the per-relation aggregated-projection sections (top-k
+  /// frequent values per column).  Off produces the pre-aggregated-
+  /// stats file layout — the compatibility test hook for exercising the
+  /// reader's heuristic fallback on "old" snapshots.
+  bool write_aggregated_stats = true;
+};
+
 struct OpenSnapshotOptions {
   /// Verify every section checksum at open (touches all pages — the
   /// slow-but-safe mode).  Default leaves bulk payloads to their lazy
@@ -54,7 +62,8 @@ struct OpenSnapshotStats {
 /// Fails — removing any partial file — rather than persisting a
 /// corrupt source store or a short write.
 Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
-                         SaveSnapshotStats* stats = nullptr);
+                         SaveSnapshotStats* stats = nullptr,
+                         const SaveSnapshotOptions& options = {});
 
 /// Opens a snapshot into a query-ready store without decoding triple
 /// data (see file comment).  All metadata is validated here; corruption

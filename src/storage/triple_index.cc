@@ -94,21 +94,107 @@ const std::vector<Triple>& TripleIndexCache::SegmentPermutation(
   return *slot;
 }
 
+namespace {
+
+// One pass over a permutation whose leading column is `col`: counts
+// distinct values and collects the kAggTopK most frequent ones.  The
+// run-length walk is the aggregated-projection scan — the permutation
+// is already grouped by `col`, so each value's frequency is one run.
+void AggregateColumn(const std::vector<Triple>& sorted_by_col, int col,
+                     size_t* distinct, std::vector<ValueFreq>* topk) {
+  topk->clear();
+  size_t n = 0;
+  size_t run = 0;
+  auto flush = [&](ObjId value) {
+    // Keep the list sorted (count desc, value asc) and capped: a linear
+    // insertion into <= kAggTopK entries per distinct value.
+    ValueFreq vf{value, static_cast<uint64_t>(run)};
+    auto pos = std::lower_bound(
+        topk->begin(), topk->end(), vf, [](const ValueFreq& a, const ValueFreq& b) {
+          return a.count != b.count ? a.count > b.count : a.value < b.value;
+        });
+    if (pos != topk->end() || topk->size() < TripleSetStats::kAggTopK) {
+      topk->insert(pos, vf);
+      if (topk->size() > TripleSetStats::kAggTopK) topk->pop_back();
+    }
+  };
+  for (size_t i = 0; i < sorted_by_col.size(); ++i) {
+    if (i > 0 && sorted_by_col[i][col] != sorted_by_col[i - 1][col]) {
+      flush(sorted_by_col[i - 1][col]);
+      run = 0;
+    }
+    if (run == 0) ++n;
+    ++run;
+  }
+  if (run > 0) flush(sorted_by_col.back()[col]);
+  *distinct = n;
+}
+
+}  // namespace
+
 const TripleSetStats& TripleIndexCache::Stats(const std::vector<Triple>& spo) {
   if (stats_built) return stats;
-  auto count_distinct = [](const std::vector<Triple>& v, int col) {
-    size_t n = 0;
-    for (size_t i = 0; i < v.size(); ++i) {
-      if (i == 0 || v[i][col] != v[i - 1][col]) ++n;
-    }
-    return n;
-  };
   stats.num_triples = spo.size();
-  stats.distinct[0] = count_distinct(spo, 0);
-  stats.distinct[1] = count_distinct(Permutation(spo, IndexOrder::kPOS), 1);
-  stats.distinct[2] = count_distinct(Permutation(spo, IndexOrder::kOSP), 2);
+  AggregateColumn(spo, 0, &stats.distinct[0], &stats.topk[0]);
+  AggregateColumn(Permutation(spo, IndexOrder::kPOS), 1, &stats.distinct[1],
+                  &stats.topk[1]);
+  AggregateColumn(Permutation(spo, IndexOrder::kOSP), 2, &stats.distinct[2],
+                  &stats.topk[2]);
   stats_built = true;
   return stats;
+}
+
+double EstimateEquiJoinRows(const TripleSetStats& l, int lcol,
+                            const TripleSetStats& r, int rcol) {
+  const double nl = static_cast<double>(l.num_triples);
+  const double nr = static_cast<double>(r.num_triples);
+  if (nl == 0 || nr == 0) return 0.0;
+  const double dl = static_cast<double>(l.distinct[lcol]);
+  const double dr = static_cast<double>(r.distinct[rcol]);
+  if (!l.HasAgg(lcol) || !r.HasAgg(rcol)) {
+    // Independence heuristic: uniform frequencies, smaller domain
+    // contained in the larger.
+    const double d = std::max(dl, dr);
+    return d == 0 ? 0.0 : nl * nr / d;
+  }
+  const std::vector<ValueFreq>& hl = l.topk[lcol];
+  const std::vector<ValueFreq>& hr = r.topk[rcol];
+  double head_l = 0, head_r = 0;
+  for (const ValueFreq& v : hl) head_l += static_cast<double>(v.count);
+  for (const ValueFreq& v : hr) head_r += static_cast<double>(v.count);
+  const double tail_l = nl - head_l;
+  const double tail_r = nr - head_r;
+  const double tdl = std::max(0.0, dl - static_cast<double>(hl.size()));
+  const double tdr = std::max(0.0, dr - static_cast<double>(hr.size()));
+  // Average tail frequency (0 when the head covers the whole column).
+  const double avg_tl = tdl > 0 ? tail_l / tdl : 0.0;
+  const double avg_tr = tdr > 0 ? tail_r / tdr : 0.0;
+
+  double rows = 0;
+  // Head x head: exact frequency products over the shared values.
+  // Head-only values (present in one head, absent from the other's) are
+  // matched against the other side's tail average — the other side
+  // either lacks the value or carries it at tail frequency.
+  for (const ValueFreq& a : hl) {
+    const ValueFreq* b = nullptr;
+    for (const ValueFreq& c : hr) {
+      if (c.value == a.value) { b = &c; break; }
+    }
+    rows += static_cast<double>(a.count) *
+            (b != nullptr ? static_cast<double>(b->count) : avg_tr);
+  }
+  for (const ValueFreq& b : hr) {
+    bool shared = false;
+    for (const ValueFreq& a : hl) {
+      if (a.value == b.value) { shared = true; break; }
+    }
+    if (!shared) rows += static_cast<double>(b.count) * avg_tl;
+  }
+  // Tail x tail under the containment assumption: the smaller tail
+  // domain is contained in the larger, so each of its values matches.
+  const double td = std::max(tdl, tdr);
+  if (td > 0) rows += tail_l * tail_r / td;
+  return rows;
 }
 
 TripleRange EqualRange(const std::vector<Triple>& sorted, IndexOrder order,

@@ -22,6 +22,7 @@
 #define TRIAL_STORAGE_TRIPLE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "storage/triple.h"
@@ -68,12 +69,36 @@ struct AccessPath {
 };
 AccessPath PlanAccess(bool bind_s, bool bind_p, bool bind_o);
 
+/// One entry of a per-column aggregated projection: a value and how many
+/// triples carry it in that column.
+struct ValueFreq {
+  ObjId value = 0;
+  uint64_t count = 0;
+
+  bool operator==(const ValueFreq& o) const {
+    return value == o.value && count == o.count;
+  }
+};
+
 /// Per-column statistics of a triple set, for costing access paths:
 /// expected matches of a single-column lookup on column c is
 /// num_triples / distinct[c].
+///
+/// The `topk` aggregated projections (RDF-3X's aggregated-index idea,
+/// reduced to the heavy hitters) record the kAggTopK most frequent
+/// values per column, ordered by count descending then value ascending
+/// so the lists are deterministic.  Equi-join selectivity multiplies
+/// matching frequencies exactly over these lists and falls back to a
+/// containment assumption for the tails; columns whose lists are empty
+/// (stats from an old snapshot) degrade to the independence heuristic.
 struct TripleSetStats {
+  /// Heavy-hitter list length.  Big enough to cover the head of a
+  /// Zipf-ish distribution, small enough to persist and scan for free.
+  static constexpr size_t kAggTopK = 32;
+
   size_t num_triples = 0;
   size_t distinct[3] = {0, 0, 0};  // distinct s / p / o values
+  std::vector<ValueFreq> topk[3];  // per-column heavy hitters
 
   double ExpectedMatches(int column) const {
     return distinct[column] == 0
@@ -81,7 +106,23 @@ struct TripleSetStats {
                : static_cast<double>(num_triples) /
                      static_cast<double>(distinct[column]);
   }
+
+  /// True when column `c` carries an aggregated projection usable for
+  /// exact-frequency estimation (empty for stats loaded from a snapshot
+  /// written before the aggregated-stats section existed).
+  bool HasAgg(int c) const { return !topk[c].empty(); }
 };
+
+/// Estimated output cardinality of the equi-join
+///   {l in L, r in R : l[lcol] == r[rcol]}.
+/// Exact sum of f_L(v) * f_R(v) over the shared heavy hitters, plus
+/// head-times-tail cross terms at the other side's tail average, plus a
+/// tail-tail term under the containment assumption
+/// (tail_l * tail_r / max(tail-distinct)).  When either side lacks an
+/// aggregated projection the whole estimate degrades to the classic
+/// independence form |L|*|R| / max(distinct_l, distinct_r).
+double EstimateEquiJoinRows(const TripleSetStats& l, int lcol,
+                            const TripleSetStats& r, int rcol);
 
 /// The lazily-built part of a TripleSet's index: the POS and OSP
 /// permutations plus stats.  Owned via shared_ptr by every TripleSet

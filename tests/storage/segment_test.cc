@@ -200,6 +200,64 @@ TEST(SnapshotRoundTrip, StatsPersistExactly) {
   EXPECT_EQ(SnapshotDecodeCount(*opened), 0u);
 }
 
+TEST(SnapshotRoundTrip, AggregatedProjectionsPersistExactly) {
+  TripleStore store = ZipfStore(21);
+  const TripleSetStats& live = store.RelationStats(0);
+  ASSERT_TRUE(live.HasAgg(0));
+  std::string path = TempPath("seg_agg.trial");
+  ASSERT_TRUE(SaveStoreSnapshot(store, path).ok());
+  auto opened = OpenStoreSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const TripleSetStats* cached = opened->Relation(0).CachedStats();
+  ASSERT_NE(cached, nullptr);
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_EQ(cached->topk[c].size(), live.topk[c].size()) << c;
+    for (size_t i = 0; i < live.topk[c].size(); ++i) {
+      EXPECT_EQ(cached->topk[c][i], live.topk[c][i]) << c << "/" << i;
+    }
+  }
+  // Planning an equi-join consumes the persisted projections — same
+  // estimate as against the live store — without decoding any pages.
+  ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"),
+                         Spec(Pos::P1, Pos::P3, Pos::P3p,
+                              {Eq(Pos::P2, Pos::P2p)}));
+  plan::PlanPtr live_plan = plan::PlanExpr(e, store);
+  plan::PlanPtr snap_plan = plan::PlanExpr(e, *opened);
+  EXPECT_DOUBLE_EQ(snap_plan->est_rows, live_plan->est_rows);
+  EXPECT_EQ(SnapshotDecodeCount(*opened), 0u) << "planning decoded triples";
+}
+
+TEST(SnapshotRoundTrip, PreAggSnapshotsFallBackToHeuristics) {
+  // A snapshot written without the aggregated-stats section (the
+  // pre-projection layout) must open and answer queries exactly; the
+  // planner just loses the top-k refinement and falls back to the
+  // independence estimate.
+  TripleStore store = ZipfStore(23);
+  store.RelationStats(0);
+  std::string path = TempPath("seg_preagg.trial");
+  SaveSnapshotOptions old_layout;
+  old_layout.write_aggregated_stats = false;
+  ASSERT_TRUE(SaveStoreSnapshot(store, path, nullptr, old_layout).ok());
+  auto opened = OpenStoreSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const TripleSetStats* cached = opened->Relation(0).CachedStats();
+  ASSERT_NE(cached, nullptr);  // scalar stats still persist
+  EXPECT_EQ(cached->num_triples, store.RelationStats(0).num_triples);
+  for (int c = 0; c < 3; ++c) EXPECT_FALSE(cached->HasAgg(c));
+  // Planning still works (heuristic estimates, no decode)...
+  ExprPtr e = Expr::Join(Expr::Rel("E"), Expr::Rel("E"),
+                         Spec(Pos::P1, Pos::P3, Pos::P3p,
+                              {Eq(Pos::P2, Pos::P2p)}));
+  plan::PlanPtr p = plan::PlanExpr(e, *opened);
+  EXPECT_GT(p->est_rows, 0);
+  EXPECT_EQ(SnapshotDecodeCount(*opened), 0u);
+  // ...and execution answers identically to the in-memory store.
+  auto want = plan::ExecutePlan(*plan::PlanExpr(e, store), store);
+  auto got = plan::ExecutePlan(*p, *opened);
+  ASSERT_TRUE(want.ok() && got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
 TEST(SnapshotRoundTrip, ResaveReopenedStore) {
   TripleStore store = ZipfStore(13);
   std::string p1 = TempPath("seg_resave1.trial");
