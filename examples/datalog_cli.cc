@@ -2,14 +2,16 @@
 // evaluate, print the answer relation.  A tiny end-to-end driver for the
 // whole stack: parser -> validator -> translation -> TriAL* engine.
 //
-//   $ ./examples/datalog_cli [--explain] data.nt program.dl [answer_pred]
-//   $ ./examples/datalog_cli --demo [--explain]
+//   $ ./examples/datalog_cli [--explain|--analyze] data.nt prog.dl [pred]
+//   $ ./examples/datalog_cli --demo [--explain|--analyze]
 //
 // With --demo it runs the built-in Figure 1 store and a reachability
 // program.  --explain prints the physical plan of the translated
 // TriAL(*) expression — operator tree with estimated vs actual row
 // counts — for the translation route (general recursion is evaluated
-// directly and has no TriAL plan).
+// directly and has no TriAL plan).  --analyze additionally profiles
+// the execution: per-operator self/cumulative wall time, estimate
+// q-error, strategy taken and peak intermediate size.
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +20,7 @@
 
 #include "core/eval.h"
 #include "core/plan/plan.h"
+#include "core/plan/profile.h"
 #include "datalog/analysis.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -30,7 +33,7 @@ using namespace trial;
 namespace {
 
 int RunProgram(const TripleStore& store, const std::string& text,
-               const std::string& answer, bool explain) {
+               const std::string& answer, bool explain, bool analyze) {
   auto prog = datalog::ParseProgram(text);
   if (!prog.ok()) {
     std::fprintf(stderr, "program: %s\n", prog.status().ToString().c_str());
@@ -54,7 +57,7 @@ int RunProgram(const TripleStore& store, const std::string& text,
   // general recursion.
   Result<TripleSet> result = TripleSet();
   if (info->cls == datalog::ProgramClass::kGeneralRecursive) {
-    if (explain) {
+    if (explain || analyze) {
       std::printf("(general recursion is evaluated directly; "
                   "no TriAL plan)\n");
     }
@@ -67,7 +70,7 @@ int RunProgram(const TripleStore& store, const std::string& text,
       return 1;
     }
     std::printf("translated expression: %s\n", (*expr)->ToString().c_str());
-    if (explain) {
+    if (explain || analyze) {
       // The same operators the smart engine runs, with the tree kept
       // for rendering estimated vs actual cardinalities.
       Status vs = ValidateExpr(*expr);
@@ -79,10 +82,17 @@ int RunProgram(const TripleStore& store, const std::string& text,
       // planner never forces the builds on its own).
       for (RelId r = 0; r < store.NumRelations(); ++r) store.RelationStats(r);
       plan::PlanPtr pl = plan::PlanExpr(*expr, store);
-      result = plan::ExecutePlan(*pl, store);
+      result = plan::ExecutePlan(*pl, store, {}, analyze);
       if (result.ok()) plan::RecordRootRows(*pl, *result);
-      std::printf("plan (estimated vs actual rows):\n%s",
-                  plan::Explain(*pl).c_str());
+      if (analyze) {
+        std::printf("plan (EXPLAIN ANALYZE):\n%s",
+                    plan::ExplainAnalyze(*pl).c_str());
+        plan::EmitTrace(
+            plan::CollectTrace(*pl, (*expr)->ToString(), 1));
+      } else {
+        std::printf("plan (estimated vs actual rows):\n%s",
+                    plan::Explain(*pl).c_str());
+      }
     } else {
       auto engine = MakeSmartEvaluator();
       result = engine->Eval(*expr, store);
@@ -112,11 +122,14 @@ const char* kDemoProgram = R"(
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool analyze = false;
   bool demo = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
@@ -126,12 +139,13 @@ int main(int argc, char** argv) {
   if (demo && pos.empty()) {
     TripleStore store = TransportStore();
     std::printf("demo: Figure 1 store, same-operator hops\n\n");
-    return RunProgram(store, kDemoProgram, "ans", explain);
+    return RunProgram(store, kDemoProgram, "ans", explain, analyze);
   }
   if (pos.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--explain] data.nt program.dl [answer_pred]\n"
-                 "       %s --demo [--explain]\n",
+                 "usage: %s [--explain|--analyze] data.nt program.dl "
+                 "[answer_pred]\n"
+                 "       %s --demo [--explain|--analyze]\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -151,5 +165,6 @@ int main(int argc, char** argv) {
   size_t got;
   while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
   std::fclose(f);
-  return RunProgram(store, text, pos.size() > 2 ? pos[2] : "ans", explain);
+  return RunProgram(store, text, pos.size() > 2 ? pos[2] : "ans", explain,
+                    analyze);
 }

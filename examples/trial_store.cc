@@ -21,6 +21,16 @@
 //   --explain        with --query: evaluate through the physical plan
 //                    layer and print the operator tree with estimated
 //                    vs actual cardinalities
+//   --analyze        like --explain, but profile the execution: each
+//                    operator line adds actual rows, estimate q-error,
+//                    strategy taken, self and cumulative wall time and
+//                    peak intermediate size
+//   --trace=PATH     with --analyze: export the profiled run as a
+//                    nested-span JSON trace (parent-child operator
+//                    nesting, nanosecond timestamps from query start)
+//   --metrics=PATH   enable the process metrics registry and write its
+//                    JSON snapshot (loader/segment/pool/exec
+//                    counters and histograms) on exit
 //   --query-threads=N  also evaluate with N evaluator threads (0 = one
 //                    per hardware thread) and report serial vs parallel
 //                    wall time; results are verified identical
@@ -47,9 +57,11 @@
 #include "core/eval.h"
 #include "core/parser.h"
 #include "core/plan/plan.h"
+#include "core/plan/profile.h"
 #include "loader/bulk_load.h"
 #include "loader/ntriples_writer.h"
 #include "storage/segment/store_snapshot.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 using namespace trial;
@@ -69,9 +81,12 @@ struct Args {
   bool verify = false;
   std::string query;
   bool explain = false;
+  bool analyze = false;
   size_t query_threads = 1;  // 1: serial only; 0: hardware concurrency
   std::string json;
   std::string save;
+  std::string trace;
+  std::string metrics;
   bool open = false;
 };
 
@@ -141,6 +156,12 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->query = v;
     } else if (arg == "--explain") {
       a->explain = true;
+    } else if (arg == "--analyze") {
+      a->analyze = true;
+    } else if (const char* v = value("--trace=")) {
+      a->trace = v;
+    } else if (const char* v = value("--metrics=")) {
+      a->metrics = v;
     } else if (const char* v = value("--query-threads=")) {
       if (!ParseCount("--query-threads", v, &a->query_threads)) return false;
     } else if (const char* v = value("--json=")) {
@@ -165,8 +186,12 @@ bool ParseArgs(int argc, char** argv, Args* a) {
                  "header for options)\n");
     return false;
   }
-  if (a->explain && a->query.empty()) {
-    std::fprintf(stderr, "--explain requires --query\n");
+  if ((a->explain || a->analyze) && a->query.empty()) {
+    std::fprintf(stderr, "--explain/--analyze require --query\n");
+    return false;
+  }
+  if (!a->trace.empty() && !a->analyze) {
+    std::fprintf(stderr, "--trace requires --analyze\n");
     return false;
   }
   if (a->open &&
@@ -282,10 +307,11 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
     auto warmup = engine->Eval(*expr, store);
     (void)warmup;
   }
-  // --explain evaluates through the plan API — the same operators the
-  // smart engine shim runs, but with the tree kept for rendering.
+  // --explain/--analyze evaluate through the plan API — the same
+  // operators the smart engine shim runs, but with the tree kept for
+  // rendering (and, under --analyze, per-operator profiling).
   plan::PlanPtr pl;
-  if (args.explain) {
+  if (args.explain || args.analyze) {
     Status vs = ValidateExpr(*expr);
     if (!vs.ok()) {
       std::fprintf(stderr, "query validate error: %s\n",
@@ -299,8 +325,9 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
     pl = plan::PlanExpr(*expr, store);
   }
   Timer t;
-  auto result = pl != nullptr ? plan::ExecutePlan(*pl, store)
-                              : engine->Eval(*expr, store);
+  auto result = pl != nullptr
+                    ? plan::ExecutePlan(*pl, store, {}, args.analyze)
+                    : engine->Eval(*expr, store);
   double secs = t.Seconds();
   if (!result.ok()) {
     std::fprintf(stderr, "evaluation error: %s\n",
@@ -313,7 +340,8 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
     out->plan_nodes = pl->TreeSize();
     out->plan_est_rows = pl->est_rows;
     out->plan_actual_rows = pl->runtime.actual_rows;
-    out->plan_text = plan::Explain(*pl);
+    out->plan_text =
+        args.analyze ? plan::ExplainAnalyze(*pl) : plan::Explain(*pl);
   }
   out->ran = true;
   out->expr = (*expr)->ToString();
@@ -321,7 +349,24 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
   out->serial_seconds = secs;
   std::printf("\nquery:    %s\n", out->expr.c_str());
   if (out->explained) {
-    std::printf("plan (estimated vs actual rows):\n%s", out->plan_text.c_str());
+    std::printf(args.analyze ? "plan (EXPLAIN ANALYZE):\n%s"
+                             : "plan (estimated vs actual rows):\n%s",
+                out->plan_text.c_str());
+  }
+  if (args.analyze) {
+    plan::QueryTrace trace = plan::CollectTrace(*pl, out->expr, 1);
+    plan::EmitTrace(trace);  // installed sinks (servers, tests) see it
+    if (!args.trace.empty()) {
+      std::string json = plan::TraceToJson(trace);
+      if (std::FILE* f = std::fopen(args.trace.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", args.trace.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s\n", args.trace.c_str());
+        return 1;
+      }
+    }
   }
   std::printf("serial:   %zu triples in %.3fs\n", result->size(), secs);
   if (args.query_threads != 1) {
@@ -362,6 +407,9 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+  // Enable metrics before any instrumented work runs, so the snapshot
+  // covers the load as well as the queries.
+  if (!args.metrics.empty()) SetMetricsEnabled(true);
 
   if (args.gen > 0) {
     SyntheticNTriplesOptions gen;
@@ -523,5 +571,16 @@ int main(int argc, char** argv) {
   int query_rc = 0;
   if (!args.query.empty()) query_rc = RunQuery(store, args, &query);
   if (!args.json.empty()) WriteJson(args, stats, open_seconds, query);
+  if (!args.metrics.empty()) {
+    std::string json = MetricsRegistry::Global().RenderJson();
+    if (std::FILE* f = std::fopen(args.metrics.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", args.metrics.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", args.metrics.c_str());
+      return 1;
+    }
+  }
   return query_rc;
 }

@@ -24,6 +24,40 @@ std::string FmtEst(double est) {
 
 void Render(const PlanNode& n, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
+  AppendNodeSummary(n, out);
+  out->append(" est=").append(FmtEst(n.est_rows));
+  if (n.runtime.executed) {
+    char buf[32];
+    if (n.runtime.rows_known) {
+      std::snprintf(buf, sizeof buf, "%zu", n.runtime.actual_rows);
+    } else {
+      // Executed, but nothing consumed the set yet (an unread root):
+      // counting would force a sort the caller chose not to pay.
+      std::snprintf(buf, sizeof buf, "?");
+    }
+    out->append(" actual=").append(buf);
+    if (n.runtime.strategy != nullptr) {
+      out->append(" (").append(n.runtime.strategy).append(")");
+    }
+    if (n.op == PlanOp::kFixpointStar) {
+      std::snprintf(buf, sizeof buf, "%zu", n.runtime.rounds);
+      out->append(" rounds=").append(buf);
+      if (n.runtime.rounds > 0) {
+        std::snprintf(buf, sizeof buf, " (probe=%zu, hash=%zu)",
+                      n.runtime.probe_rounds, n.runtime.hash_rounds);
+        out->append(buf);
+      }
+    }
+  } else {
+    out->append(" actual=-");
+  }
+  out->append("\n");
+  for (const PlanPtr& c : n.children) Render(*c, depth + 1, out);
+}
+
+}  // namespace
+
+void AppendNodeSummary(const PlanNode& n, std::string* out) {
   out->append(PlanOpName(n.op));
   switch (n.op) {
     case PlanOp::kIndexScan:
@@ -57,37 +91,7 @@ void Render(const PlanNode& n, int depth, std::string* out) {
   } else if (n.access.prefix > 0) {
     out->append(" via=").append(IndexOrderName(n.access.order));
   }
-  out->append(" est=").append(FmtEst(n.est_rows));
-  if (n.runtime.executed) {
-    char buf[32];
-    if (n.runtime.rows_known) {
-      std::snprintf(buf, sizeof buf, "%zu", n.runtime.actual_rows);
-    } else {
-      // Executed, but nothing consumed the set yet (an unread root):
-      // counting would force a sort the caller chose not to pay.
-      std::snprintf(buf, sizeof buf, "?");
-    }
-    out->append(" actual=").append(buf);
-    if (n.runtime.strategy != nullptr) {
-      out->append(" (").append(n.runtime.strategy).append(")");
-    }
-    if (n.op == PlanOp::kFixpointStar) {
-      std::snprintf(buf, sizeof buf, "%zu", n.runtime.rounds);
-      out->append(" rounds=").append(buf);
-      if (n.runtime.rounds > 0) {
-        std::snprintf(buf, sizeof buf, " (probe=%zu, hash=%zu)",
-                      n.runtime.probe_rounds, n.runtime.hash_rounds);
-        out->append(buf);
-      }
-    }
-  } else {
-    out->append(" actual=-");
-  }
-  out->append("\n");
-  for (const PlanPtr& c : n.children) Render(*c, depth + 1, out);
 }
-
-}  // namespace
 
 std::string Explain(const PlanNode& root) {
   std::string out;

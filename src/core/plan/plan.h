@@ -217,6 +217,23 @@ struct PlanRuntime {
   size_t rounds = 0;        ///< fixpoint rounds until saturation
   size_t probe_rounds = 0;  ///< rounds whose delta probed the index
   size_t hash_rounds = 0;   ///< rounds that fell back to the hash table
+
+  // ---- profiling (ExecutePlan with profile=true only) -----------------
+  //
+  // The profiled path additionally timestamps every operator against
+  // one steady-clock origin per execution and records actual rows on
+  // EVERY node, root included (an ANALYZE caller asked for the
+  // diagnostics; the normalization it forces is the read the caller
+  // was about to do anyway).  The unprofiled path never reads the
+  // clock — see the executor's fast path — so the committed bench
+  // baselines measure the same code the pre-profiling engine ran.
+  bool profiled = false;
+  uint64_t start_ns = 0;  ///< operator start, relative to query start
+  uint64_t end_ns = 0;    ///< operator end; cumulative = end - start
+  uint64_t self_ns = 0;   ///< cumulative minus the children's spans
+  /// Largest intermediate this operator held: inputs and output for
+  /// joins/set ops, the peak accumulator for fixpoints.
+  size_t peak_rows = 0;
 };
 
 struct PlanNode;
@@ -273,8 +290,14 @@ PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store);
 /// thread count in `limits.exec`.  The root's actual cardinality is
 /// NOT recorded here (see PlanRuntime); call RecordRootRows before
 /// rendering Explain when you want it.
+///
+/// With `profile` set, every operator is additionally wall-clock
+/// timestamped and row-counted (PlanRuntime's profiling fields) for
+/// ExplainAnalyze / CollectTrace (core/plan/profile.h).  Results are
+/// identical either way; the unprofiled path reads no clocks.
 Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
-                              const ExecLimits& limits = {});
+                              const ExecLimits& limits = {},
+                              bool profile = false);
 
 /// Records `result`'s cardinality on the root node for Explain.  This
 /// normalizes (sorts) the result if nothing has read it yet — call it
@@ -288,6 +311,11 @@ void RecordRootRows(PlanNode& root, const TripleSet& result);
 ///     IndexScan E est=50000 actual=50000
 ///     IndexScan E est=50000 actual=50000
 std::string Explain(const PlanNode& root);
+
+/// The operator summary shared by Explain and ExplainAnalyze: op name,
+/// spec/relation detail, and the via= access-path note, no cardinality
+/// or runtime fields.  Appended to `out`.
+void AppendNodeSummary(const PlanNode& n, std::string* out);
 
 }  // namespace plan
 }  // namespace trial

@@ -23,6 +23,7 @@
 #include "core/eval.h"
 #include "core/fast_reach.h"
 #include "core/plan/plan.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace trial {
@@ -45,17 +46,56 @@ using HashIndex = std::unordered_map<uint64_t, std::vector<Triple>>;
 
 class Executor {
  public:
-  Executor(const TripleStore& store, const ExecLimits& limits)
-      : store_(store), limits_(limits) {}
+  Executor(const TripleStore& store, const ExecLimits& limits,
+           bool profile = false)
+      : store_(store),
+        limits_(limits),
+        profile_(profile),
+        origin_ns_(profile ? MonotonicNanos() : 0) {}
 
   Result<TripleSet> Exec(PlanNode& n) {
     n.runtime = PlanRuntime{};
+    if (profile_) return ExecProfiled(n);
+    // The unprofiled fast path: no clock reads, no size forcing — the
+    // exact pre-profiling executor.  Zero-cost-when-off hinges on this
+    // branch staying clock-free AND on the profiled path living in its
+    // own never-inlined function: folding it into Exec measurably
+    // regressed the unprofiled microsecond-scale queries (inliner and
+    // layout effects in the recursive hot path), not the branch itself.
     Result<TripleSet> result = ExecNode(n);
     if (result.ok()) n.runtime.executed = true;
     return result;
   }
 
  private:
+  __attribute__((noinline)) Result<TripleSet> ExecProfiled(PlanNode& n) {
+    n.runtime.profiled = true;
+    n.runtime.start_ns = MonotonicNanos() - origin_ns_;
+    Result<TripleSet> result = ExecNode(n);
+    n.runtime.end_ns = MonotonicNanos() - origin_ns_;
+    // Children execute strictly inside this node's span (operators run
+    // their children sequentially; parallelism lives inside kernels),
+    // so self time is the cumulative span minus the children's spans.
+    uint64_t child_ns = 0;
+    for (const PlanPtr& c : n.children) {
+      if (c->runtime.profiled) {
+        child_ns += c->runtime.end_ns - c->runtime.start_ns;
+      }
+    }
+    uint64_t cum = n.runtime.end_ns - n.runtime.start_ns;
+    n.runtime.self_ns = cum > child_ns ? cum - child_ns : 0;
+    if (result.ok()) {
+      n.runtime.executed = true;
+      // ANALYZE counts every node, including the root: the caller asked
+      // for the rows, so the normalize size() forces is work the read
+      // was about to pay anyway.
+      NoteRows(n, *result);
+      if (n.runtime.peak_rows < n.runtime.actual_rows) {
+        n.runtime.peak_rows = n.runtime.actual_rows;
+      }
+    }
+    return result;
+  }
   // Notes a child's actual cardinality right before its parent consumes
   // the set.  size() normalizes, but the parent was about to do exactly
   // that (probe loops, hash builds and set operations all read the
@@ -64,6 +104,13 @@ class Executor {
   static void NoteRows(PlanNode& n, const TripleSet& s) {
     n.runtime.rows_known = true;
     n.runtime.actual_rows = s.size();
+  }
+  // Profiled-only: a binary operator's peak intermediate is at least
+  // both inputs; Exec() folds the output size in afterwards.  Free
+  // here — NoteRows just forced both sizes.
+  void NotePeakInputs(PlanNode& n, const TripleSet& a, const TripleSet& b) {
+    if (!profile_) return;
+    n.runtime.peak_rows = std::max(a.size(), b.size());
   }
   Result<TripleSet> ExecNode(PlanNode& n) {
     switch (n.op) {
@@ -88,6 +135,7 @@ class Executor {
         TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
         NoteRows(*n.children[0], a);
         NoteRows(*n.children[1], b);
+        NotePeakInputs(n, a, b);
         return TripleSet::Union(a, b);
       }
       case PlanOp::kMinusOp: {
@@ -95,6 +143,7 @@ class Executor {
         TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
         NoteRows(*n.children[0], a);
         NoteRows(*n.children[1], b);
+        NotePeakInputs(n, a, b);
         return TripleSet::Difference(a, b);
       }
       case PlanOp::kIndexProbeJoin:
@@ -103,6 +152,7 @@ class Executor {
         TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
         NoteRows(*n.children[0], a);
         NoteRows(*n.children[1], b);
+        NotePeakInputs(n, a, b);
         return Join(n, a, b);
       }
       case PlanOp::kMergeJoin: {
@@ -110,6 +160,7 @@ class Executor {
         TRIAL_ASSIGN_OR_RETURN(TripleSet b, Exec(*n.children[1]));
         NoteRows(*n.children[0], a);
         NoteRows(*n.children[1], b);
+        NotePeakInputs(n, a, b);
         return MergeOrFallback(n, a, b);
       }
       case PlanOp::kReachFastPath: {
@@ -292,6 +343,12 @@ class Executor {
           }
           return true;
         });
+        // Flush the sub-stride tail, exactly as ProbeLoop does after
+        // its loop: without it, `emitted` undercounts every finished
+        // slice by up to kGuardStride-1 rows and later slices guard
+        // against a stale total.
+        emitted.fetch_add(bufs[c].size() - flushed,
+                          std::memory_order_relaxed);
       });
       size_t total = 0;
       for (const std::vector<Triple>& b : bufs) total += b.size();
@@ -511,6 +568,12 @@ class Executor {
           }
         }
       }
+      if (profile_) {
+        // Peak intermediate = accumulator plus the round's live delta
+        // (both are held at once while the next round expands).
+        size_t live = acc.size() + delta.size();
+        if (live > n.runtime.peak_rows) n.runtime.peak_rows = live;
+      }
       if (next.empty()) {
         std::vector<Triple> v(acc.begin(), acc.end());
         return TripleSet(std::move(v));
@@ -522,19 +585,46 @@ class Executor {
 
   const TripleStore& store_;
   const ExecLimits& limits_;
+  const bool profile_;
+  const uint64_t origin_ns_;  ///< query-start clock origin (profiled only)
 };
+
+// Walks an executed tree bumping the per-strategy counters; called only
+// when metrics recording is on.
+void CountStrategies(const PlanNode& n, MetricsRegistry& reg) {
+  if (n.runtime.executed && n.runtime.strategy != nullptr) {
+    static constexpr const char* kPrefix = "exec.strategy.";
+    reg.GetCounter(std::string(kPrefix) + n.runtime.strategy)->Increment();
+  }
+  for (const PlanPtr& c : n.children) CountStrategies(*c, reg);
+}
 
 }  // namespace
 
 Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
-                              const ExecLimits& limits) {
-  Result<TripleSet> result = Executor(store, limits).Exec(root);
+                              const ExecLimits& limits, bool profile) {
+  // Metrics are one relaxed atomic load when off; the clock is read
+  // only when something (metrics or profiling) will consume it.
+  const bool metrics = MetricsEnabled();
+  const uint64_t t0 = metrics ? MonotonicNanos() : 0;
+  Result<TripleSet> result = Executor(store, limits, profile).Exec(root);
   // A lazy snapshot decode that hit corruption yields empty scans, not
   // a Status — surface the sticky diagnostic instead of a silently
   // wrong (empty/partial) result.  The result itself may be a still-lazy
   // pass-through of a relation (a bare index scan), so force it too.
   if (result.ok()) TRIAL_RETURN_IF_ERROR(result->VerifyMaterialized());
   TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
+  if (metrics) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("exec.queries")->Increment();
+    reg.GetHistogram("exec.query_ns")->Observe(MonotonicNanos() - t0);
+    if (result.ok()) {
+      reg.GetHistogram("exec.result_rows")->Observe(result->size());
+    } else {
+      reg.GetCounter("exec.query_errors")->Increment();
+    }
+    CountStrategies(root, reg);
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "core/eval.h"
 #include "core/plan/plan.h"
 #include "datalog/analysis.h"
+#include "util/metrics.h"
 
 namespace trial {
 namespace datalog {
@@ -382,6 +383,9 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
     const Program& program, const TripleStore& store,
     const DatalogOptions& opts) {
   TRIAL_ASSIGN_OR_RETURN(ProgramInfo info, AnalyzeProgram(program));
+  const bool metrics = MetricsEnabled();
+  const uint64_t t0 = metrics ? MonotonicNanos() : 0;
+  uint64_t fixpoint_rounds = 0;
   std::map<std::string, TripleSet> idb;
   for (const std::string& pred : info.eval_order) {
     const std::vector<size_t>& rule_idx = info.rules_of[pred];
@@ -412,6 +416,7 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
                                            " too large");
         }
         TripleSet merged = TripleSet::Union(idb.at(pred), value);
+        ++fixpoint_rounds;
         if (merged.size() == idb.at(pred).size()) break;
         idb[pred] = std::move(merged);
       }
@@ -425,6 +430,17 @@ Result<std::map<std::string, TripleSet>> EvalProgramAll(
     TRIAL_RETURN_IF_ERROR(rel.VerifyMaterialized());
   }
   TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
+  if (metrics) {
+    // One observation per program evaluation, after success: counts of
+    // derived tuples across all IDB predicates plus the round total.
+    uint64_t derived = 0;
+    for (const auto& [pred, rel] : idb) derived += rel.size();
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("datalog.programs")->Increment();
+    reg.GetCounter("datalog.fixpoint_rounds")->Add(fixpoint_rounds);
+    reg.GetHistogram("datalog.derived_rows")->Observe(derived);
+    reg.GetHistogram("datalog.program_ns")->Observe(MonotonicNanos() - t0);
+  }
   return idb;
 }
 

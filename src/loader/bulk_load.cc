@@ -7,6 +7,7 @@
 
 #include "storage/segment/store_snapshot.h"
 #include "util/interner.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace trial {
@@ -214,17 +215,17 @@ Result<TripleStore> BulkLoadNTriples(std::string_view text,
     snapshot_bytes = save_stats.bytes;
   }
 
+  ParseStats agg;
+  for (const Shard& s : shards) {
+    agg.lines += s.stats.lines;
+    agg.triples += s.stats.triples;
+    agg.skipped_literals += s.stats.skipped_literals;
+    agg.skipped_blanks += s.stats.skipped_blanks;
+  }
   if (stats != nullptr) {
     stats->bytes = text.size();
     stats->chunks = chunks.size();
     stats->threads = threads;
-    ParseStats agg;
-    for (const Shard& s : shards) {
-      agg.lines += s.stats.lines;
-      agg.triples += s.stats.triples;
-      agg.skipped_literals += s.stats.skipped_literals;
-      agg.skipped_blanks += s.stats.skipped_blanks;
-    }
     stats->parse = agg;
     stats->triples_loaded = store.TotalTriples();
     stats->objects = store.NumObjects();
@@ -234,6 +235,26 @@ Result<TripleStore> BulkLoadNTriples(std::string_view text,
     stats->save_seconds = save_seconds;
     stats->snapshot_bytes = snapshot_bytes;
     stats->total_seconds = total.Seconds();
+  }
+  if (MetricsEnabled()) {
+    // Per-load stage timings and skipped-line counters; one observation
+    // per bulk load, never per triple.
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto ns = [](double seconds) {
+      return static_cast<uint64_t>(seconds * 1e9);
+    };
+    reg.GetCounter("loader.loads")->Increment();
+    reg.GetCounter("loader.bytes")->Add(text.size());
+    reg.GetCounter("loader.triples_loaded")->Add(store.TotalTriples());
+    reg.GetCounter("loader.lines")->Add(agg.lines);
+    reg.GetCounter("loader.skipped_literals")->Add(agg.skipped_literals);
+    reg.GetCounter("loader.skipped_blanks")->Add(agg.skipped_blanks);
+    reg.GetHistogram("loader.parse_ns")->Observe(ns(parse_seconds));
+    reg.GetHistogram("loader.merge_ns")->Observe(ns(merge_seconds));
+    if (!opts.snapshot_path.empty()) {
+      reg.GetHistogram("loader.save_ns")->Observe(ns(save_seconds));
+    }
+    reg.GetHistogram("loader.total_ns")->Observe(ns(total.Seconds()));
   }
   return store;
 }

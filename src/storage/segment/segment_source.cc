@@ -1,6 +1,7 @@
 #include "storage/segment/segment_source.h"
 
 #include "storage/segment/segment_format.h"
+#include "util/metrics.h"
 
 namespace trial {
 
@@ -100,9 +101,13 @@ Status DecodeTripleSegment(const uint8_t* data, size_t bytes, size_t count,
 Status TripleSegmentSource::Decode(IndexOrder order,
                                    std::vector<Triple>* out) const {
   decodes_.fetch_add(1, std::memory_order_relaxed);
+  const bool metrics = MetricsEnabled();
+  const uint64_t t0 = metrics ? MonotonicNanos() : 0;
   const PermSegment& seg = perms_[static_cast<int>(order)];
   Status st;
-  if (Checksum64(seg.data, seg.bytes) != seg.checksum) {
+  bool checksum_ok = Checksum64(seg.data, seg.bytes) == seg.checksum;
+  const uint64_t t1 = metrics ? MonotonicNanos() : 0;
+  if (!checksum_ok) {
     out->clear();
     st = Status::InvalidArgument(origin_ + ": " + IndexOrderName(order) +
                                  " triple segment checksum mismatch — "
@@ -114,6 +119,16 @@ Status TripleSegmentSource::Decode(IndexOrder order,
   if (!st.ok() && !has_error_.load(std::memory_order_acquire)) {
     error_ = st;
     has_error_.store(true, std::memory_order_release);
+  }
+  if (metrics) {
+    // One observation per lazy segment decode — coarse by construction
+    // (a segment is a whole permutation of a relation).
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("segment.decodes")->Increment();
+    reg.GetCounter("segment.decode_bytes")->Add(seg.bytes);
+    reg.GetHistogram("segment.checksum_ns")->Observe(t1 - t0);
+    reg.GetHistogram("segment.decode_ns")->Observe(MonotonicNanos() - t1);
+    if (!st.ok()) reg.GetCounter("segment.decode_errors")->Increment();
   }
   return st;
 }

@@ -9,6 +9,7 @@
 #include "storage/segment/segment_format.h"
 #include "storage/segment/segment_io.h"
 #include "storage/segment/segment_source.h"
+#include "util/metrics.h"
 
 namespace trial {
 namespace {
@@ -214,13 +215,25 @@ Status SaveStoreSnapshot(const TripleStore& store, const std::string& path,
   size_t sections = 4 + 3 * store.NumRelations() +
                     (options.write_aggregated_stats ? store.NumRelations() : 0);
   TRIAL_RETURN_IF_ERROR(writer.WriteFile(path));
-  if (stats != nullptr) {
+  const bool metrics = MetricsEnabled();
+  double seconds = SecondsSince(t0);
+  size_t out_bytes = 0;
+  if (stats != nullptr || metrics) {
     // Re-open cheaply for the authoritative size (header-declared).
-    stats->sections = sections;
-    stats->seconds = SecondsSince(t0);
-    stats->bytes = 0;
     auto mapped = MappedFile::Map(path);
-    if (mapped.ok()) stats->bytes = mapped.value()->size();
+    if (mapped.ok()) out_bytes = mapped.value()->size();
+  }
+  if (stats != nullptr) {
+    stats->sections = sections;
+    stats->seconds = seconds;
+    stats->bytes = out_bytes;
+  }
+  if (metrics) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("snapshot.saves")->Increment();
+    reg.GetCounter("snapshot.save_bytes")->Add(out_bytes);
+    reg.GetHistogram("snapshot.save_ns")
+        ->Observe(static_cast<uint64_t>(seconds * 1e9));
   }
   return Status::OK();
 }
@@ -409,6 +422,13 @@ Result<TripleStore> OpenStoreSnapshot(const std::string& path,
     stats->objects = num_objects;
     stats->relations = num_relations;
     stats->triples = total_triples;
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("snapshot.opens")->Increment();
+    reg.GetCounter("snapshot.bytes_mapped")->Add(reader.file()->size());
+    reg.GetHistogram("snapshot.open_ns")
+        ->Observe(static_cast<uint64_t>(SecondsSince(t0) * 1e9));
   }
   return store;
 }

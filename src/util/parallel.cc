@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/metrics.h"
+
 namespace trial {
 namespace {
 
@@ -38,6 +40,10 @@ struct ThreadPool::Job {
   size_t parallelism = 1;          // worker index i participates iff i+1 < this
   std::atomic<size_t> next{0};     // task claim counter
   std::atomic<size_t> done{0};     // completed tasks
+  // Metrics recording, latched at submit time so every participant of
+  // one job agrees (the flag may flip mid-run).
+  bool metrics = false;
+  uint64_t submit_ns = 0;          // queue wait = task start - submit
 };
 
 ThreadPool& ThreadPool::Global() {
@@ -79,12 +85,30 @@ void ThreadPool::WorkerLoop(size_t index) {
 }
 
 void ThreadPool::RunTasks(Job& job) {
+  // Per-task instruments resolved once per participant — and only once
+  // a task is actually claimed, so a participant that loses every claim
+  // race never registers a zero-sample histogram.  Tasks are coarse
+  // chunks (kChunksPerThread per thread), so the two clock reads per
+  // task are noise even with metrics on.
+  Histogram* wait_h = nullptr;
+  Histogram* task_h = nullptr;
   for (;;) {
     size_t t = job.next.fetch_add(1, std::memory_order_relaxed);
     if (t >= job.num_tasks) return;
+    if (job.metrics && wait_h == nullptr) {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      wait_h = reg.GetHistogram("pool.queue_wait_ns");
+      task_h = reg.GetHistogram("pool.task_ns");
+    }
+    uint64_t t0 = 0;
+    if (wait_h != nullptr) {
+      t0 = MonotonicNanos();
+      wait_h->Observe(t0 - job.submit_ns);
+    }
     tls_in_pool_task = true;
     (*job.fn)(t);
     tls_in_pool_task = false;
+    if (task_h != nullptr) task_h->Observe(MonotonicNanos() - t0);
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_tasks) {
       // Lock before notifying so the submitter cannot miss the wakeup
@@ -98,8 +122,14 @@ void ThreadPool::RunTasks(Job& job) {
 void ThreadPool::Run(size_t num_tasks, size_t parallelism,
                      const std::function<void(size_t)>& fn) {
   if (num_tasks == 0) return;
+  const bool metrics = MetricsEnabled();
   if (num_tasks == 1 || parallelism <= 1 || workers_.empty() ||
       tls_in_pool_task) {
+    if (metrics) {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      reg.GetCounter("pool.inline_runs")->Increment();
+      reg.GetCounter("pool.tasks")->Add(num_tasks);
+    }
     for (size_t t = 0; t < num_tasks; ++t) fn(t);
     return;
   }
@@ -108,6 +138,8 @@ void ThreadPool::Run(size_t num_tasks, size_t parallelism,
   job->fn = &fn;
   job->num_tasks = num_tasks;
   job->parallelism = std::min(parallelism, max_threads());
+  job->metrics = metrics;
+  if (metrics) job->submit_ns = MonotonicNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;
@@ -121,6 +153,15 @@ void ThreadPool::Run(size_t num_tasks, size_t parallelism,
       return job->done.load(std::memory_order_acquire) == job->num_tasks;
     });
     job_.reset();
+  }
+  if (metrics) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("pool.jobs")->Increment();
+    reg.GetCounter("pool.tasks")->Add(num_tasks);
+    reg.GetGauge("pool.workers")
+        ->Set(static_cast<int64_t>(workers_.size() + 1));
+    reg.GetHistogram("pool.run_ns")->Observe(MonotonicNanos() -
+                                             job->submit_ns);
   }
 }
 
