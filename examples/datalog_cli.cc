@@ -4,6 +4,7 @@
 //
 //   $ ./examples/datalog_cli [--explain|--analyze] data.nt prog.dl [pred]
 //   $ ./examples/datalog_cli --demo [--explain|--analyze]
+//   $ ./examples/datalog_cli --demo --sp-src=St_Andrews --sp-dst=Brussels
 //
 // With --demo it runs the built-in Figure 1 store and a reachability
 // program.  --explain prints the physical plan of the translated
@@ -12,6 +13,11 @@
 // directly and has no TriAL plan).  --analyze additionally profiles
 // the execution: per-operator self/cumulative wall time, estimate
 // q-error, strategy taken and peak intermediate size.
+//
+// --sp-src=NAME [--sp-dst=NAME] answers a weighted shortest-path query
+// over relation "E" instead of (or after) a program: a DijkstraScan
+// whose edge weights are integer rho(predicate) values (else 1).
+// Without --sp-dst it reports the full shortest-path tree.
 
 #include <cstdio>
 #include <cstring>
@@ -107,6 +113,33 @@ int RunProgram(const TripleStore& store, const std::string& text,
   return 0;
 }
 
+int RunShortestPath(const TripleStore& store, const std::string& src,
+                    const std::string& dst, bool explain, bool analyze) {
+  plan::PlanPtr pl = plan::PlanShortestPath(store, "E", src, dst);
+  auto result = plan::ExecutePlan(*pl, store, {}, analyze);
+  if (!result.ok()) {
+    std::fprintf(stderr, "shortest path: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  plan::RecordRootRows(*pl, *result);
+  std::printf("shortest path %s -> %s:\n", src.c_str(),
+              dst.empty() ? "* (full tree)" : dst.c_str());
+  if (explain || analyze) {
+    std::printf("%s", (analyze ? plan::ExplainAnalyze(*pl)
+                               : plan::Explain(*pl))
+                          .c_str());
+  }
+  if (pl->runtime.sp_reached) {
+    std::printf("distance %lld over %zu edge(s):\n%s",
+                static_cast<long long>(pl->runtime.sp_distance),
+                result->size(), store.ToString(*result).c_str());
+  } else {
+    std::printf("unreachable\n");
+  }
+  return 0;
+}
+
 const char* kDemoProgram = R"(
   % Transitive same-operator reachability over Figure 1.  The reach
   % shape (Theorem 2) needs ONE nonrecursive relation R in both rules,
@@ -124,6 +157,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool analyze = false;
   bool demo = false;
+  std::string sp_src, sp_dst;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
@@ -132,14 +166,35 @@ int main(int argc, char** argv) {
       analyze = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strncmp(argv[i], "--sp-src=", 9) == 0) {
+      sp_src = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--sp-dst=", 9) == 0) {
+      sp_dst = argv[i] + 9;
     } else {
       pos.push_back(argv[i]);
     }
   }
+  if (!sp_dst.empty() && sp_src.empty()) {
+    std::fprintf(stderr, "--sp-dst requires --sp-src\n");
+    return 2;
+  }
   if (demo && pos.empty()) {
     TripleStore store = TransportStore();
+    if (!sp_src.empty()) {
+      return RunShortestPath(store, sp_src, sp_dst, explain, analyze);
+    }
     std::printf("demo: Figure 1 store, same-operator hops\n\n");
     return RunProgram(store, kDemoProgram, "ans", explain, analyze);
+  }
+  // Shortest-path mode needs only the data file.
+  if (!sp_src.empty() && pos.size() == 1) {
+    auto doc = ParseNTriplesFile(pos[0]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "data: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    TripleStore store = doc->ToTripleStore("E");
+    return RunShortestPath(store, sp_src, sp_dst, explain, analyze);
   }
   if (pos.size() < 2) {
     std::fprintf(stderr,

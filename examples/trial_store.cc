@@ -18,6 +18,12 @@
 //   --legacy         load via the legacy ParseNTriplesFile path instead
 //   --verify         load both ways, check name-level store equivalence
 //   --query=EXPR     evaluate a TriAL(*) expression, print the result
+//   --sp-src=NAME    weighted shortest paths from object NAME over the
+//                    target relation (DijkstraScan; edge weight =
+//                    integer rho(predicate), else 1).  Without
+//                    --sp-dst: the full shortest-path tree
+//   --sp-dst=NAME    with --sp-src: one shortest path to object NAME,
+//                    printed edge by edge with the total distance
 //   --explain        with --query: evaluate through the physical plan
 //                    layer and print the operator tree with estimated
 //                    vs actual cardinalities
@@ -80,6 +86,8 @@ struct Args {
   bool legacy = false;
   bool verify = false;
   std::string query;
+  std::string sp_src;
+  std::string sp_dst;
   bool explain = false;
   bool analyze = false;
   size_t query_threads = 1;  // 1: serial only; 0: hardware concurrency
@@ -154,6 +162,10 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->verify = true;
     } else if (const char* v = value("--query=")) {
       a->query = v;
+    } else if (const char* v = value("--sp-src=")) {
+      a->sp_src = v;
+    } else if (const char* v = value("--sp-dst=")) {
+      a->sp_dst = v;
     } else if (arg == "--explain") {
       a->explain = true;
     } else if (arg == "--analyze") {
@@ -186,8 +198,13 @@ bool ParseArgs(int argc, char** argv, Args* a) {
                  "header for options)\n");
     return false;
   }
-  if ((a->explain || a->analyze) && a->query.empty()) {
-    std::fprintf(stderr, "--explain/--analyze require --query\n");
+  if ((a->explain || a->analyze) && a->query.empty() && a->sp_src.empty()) {
+    std::fprintf(stderr,
+                 "--explain/--analyze require --query or --sp-src\n");
+    return false;
+  }
+  if (!a->sp_dst.empty() && a->sp_src.empty()) {
+    std::fprintf(stderr, "--sp-dst requires --sp-src\n");
     return false;
   }
   if (!a->trace.empty() && !a->analyze) {
@@ -402,6 +419,53 @@ int RunQuery(const TripleStore& store, const Args& args, QueryStats* out) {
   return 0;
 }
 
+// --sp-src / --sp-dst: plan and run a DijkstraScan over the target
+// relation.  Weights come from integer rho(predicate) values (any other
+// rho defaults to 1), so plain stores answer hop-count shortest paths.
+int RunShortestPath(const TripleStore& store, const Args& args) {
+  if (args.explain || args.analyze) {
+    for (RelId r = 0; r < store.NumRelations(); ++r) store.RelationStats(r);
+  }
+  plan::PlanPtr pl =
+      plan::PlanShortestPath(store, args.relation, args.sp_src, args.sp_dst);
+  Timer t;
+  auto result = plan::ExecutePlan(*pl, store, {}, args.analyze);
+  double secs = t.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "shortest path error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  plan::RecordRootRows(*pl, *result);
+  std::printf("\nshortest path: %s -> %s over %s\n", args.sp_src.c_str(),
+              args.sp_dst.empty() ? "* (full tree)" : args.sp_dst.c_str(),
+              args.relation.c_str());
+  if (args.explain || args.analyze) {
+    std::printf(args.analyze ? "plan (EXPLAIN ANALYZE):\n%s"
+                             : "plan (estimated vs actual rows):\n%s",
+                (args.analyze ? plan::ExplainAnalyze(*pl)
+                              : plan::Explain(*pl))
+                    .c_str());
+  }
+  if (pl->runtime.sp_reached) {
+    std::printf("distance %lld, %zu edge(s), %zu node(s) settled, %.3fs\n",
+                static_cast<long long>(pl->runtime.sp_distance),
+                result->size(), pl->runtime.sp_settled, secs);
+  } else {
+    std::printf("unreachable (%zu node(s) settled, %.3fs)\n",
+                pl->runtime.sp_settled, secs);
+  }
+  size_t shown = 0;
+  for (const Triple& triple : *result) {
+    if (++shown > 10) {
+      std::printf("  ... (%zu more)\n", result->size() - 10);
+      break;
+    }
+    std::printf("  %s\n", store.TripleToString(triple).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -570,6 +634,9 @@ int main(int argc, char** argv) {
   QueryStats query;
   int query_rc = 0;
   if (!args.query.empty()) query_rc = RunQuery(store, args, &query);
+  if (query_rc == 0 && !args.sp_src.empty()) {
+    query_rc = RunShortestPath(store, args);
+  }
   if (!args.json.empty()) WriteJson(args, stats, open_seconds, query);
   if (!args.metrics.empty()) {
     std::string json = MetricsRegistry::Global().RenderJson();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/reach/graph.h"
 #include "util/parallel.h"
 
 namespace trial {
@@ -28,46 +29,9 @@ namespace {
 
 constexpr uint32_t kUnset = UINT32_MAX;
 
-// The node universe of the projected graph: distinct subjects ∪ distinct
-// objects, read off the SPO and OSP orders as a sorted id list.  Dense
-// ids are positions in that list, so scratch arrays scale with the
-// *set's* node count, not the store-wide intern id space.  The id→dense
-// map is a direct-indexed vector when the raw id range is comparably
-// small (O(1) lookups), a binary search otherwise.
-class NodeMap {
- public:
-  explicit NodeMap(const TripleSet& base) {
-    // Distinct subjects and objects are the leading runs of the SPO and
-    // OSP orders; the node list is their sorted union.
-    std::vector<ObjId> subjects, objects;
-    for (const Triple& t : base.Scan(IndexOrder::kSPO)) {
-      if (subjects.empty() || subjects.back() != t.s) subjects.push_back(t.s);
-    }
-    for (const Triple& t : base.Scan(IndexOrder::kOSP)) {
-      if (objects.empty() || objects.back() != t.o) objects.push_back(t.o);
-    }
-    nodes_.reserve(subjects.size() + objects.size());
-    std::set_union(subjects.begin(), subjects.end(), objects.begin(),
-                   objects.end(), std::back_inserter(nodes_));
-    size_t bound = nodes_.empty() ? 0 : nodes_.back() + 1;
-    if (bound <= 4 * nodes_.size() + 1024) {
-      direct_.assign(bound, kUnset);
-      for (uint32_t i = 0; i < nodes_.size(); ++i) direct_[nodes_[i]] = i;
-    }
-  }
-
-  uint32_t Dense(ObjId o) const {
-    if (!direct_.empty()) return direct_[o];
-    return static_cast<uint32_t>(
-        std::lower_bound(nodes_.begin(), nodes_.end(), o) - nodes_.begin());
-  }
-  ObjId Raw(uint32_t dense) const { return nodes_[dense]; }
-  size_t size() const { return nodes_.size(); }
-
- private:
-  std::vector<ObjId> nodes_;      // sorted distinct subject/object ids
-  std::vector<uint32_t> direct_;  // empty: use binary search
-};
+// The node universe of the projected graph lives in core/reach/graph.h,
+// shared with the interval reachability index and Dijkstra.
+using NodeMap = reach::NodeMap;
 
 // DFS scratch sized by the dense node count; one per worker chunk,
 // reused across that chunk's sources via stamps.  Procedure 3 needs

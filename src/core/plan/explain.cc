@@ -48,6 +48,17 @@ void Render(const PlanNode& n, int depth, std::string* out) {
         out->append(buf);
       }
     }
+    if (n.op == PlanOp::kDijkstraScan) {
+      if (n.runtime.sp_reached) {
+        char dbuf[64];
+        std::snprintf(dbuf, sizeof dbuf, " dist=%lld settled=%zu",
+                      static_cast<long long>(n.runtime.sp_distance),
+                      n.runtime.sp_settled);
+        out->append(dbuf);
+      } else {
+        out->append(" unreachable");
+      }
+    }
   } else {
     out->append(" actual=-");
   }
@@ -77,6 +88,13 @@ void AppendNodeSummary(const PlanNode& n, std::string* out) {
       break;
     case PlanOp::kReachFastPath:
       out->append(n.reach_same_middle ? " same-middle" : " any-path");
+      break;
+    case PlanOp::kReachIndexScan:
+      out->append(" any-path");
+      break;
+    case PlanOp::kDijkstraScan:
+      out->append(" ").append(n.sp_src).append(" -> ");
+      out->append(n.sp_dst.empty() ? "*" : n.sp_dst);
       break;
     default:
       break;

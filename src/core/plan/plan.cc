@@ -154,6 +154,8 @@ const char* PlanOpName(PlanOp op) {
     case PlanOp::kMinusOp: return "MinusOp";
     case PlanOp::kFixpointStar: return "FixpointStar";
     case PlanOp::kReachFastPath: return "ReachFastPath";
+    case PlanOp::kReachIndexScan: return "ReachIndexScan";
+    case PlanOp::kDijkstraScan: return "DijkstraScan";
   }
   return "?";
 }

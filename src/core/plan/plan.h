@@ -192,6 +192,8 @@ enum class PlanOp : uint8_t {
   kMinusOp,         ///< child − child
   kFixpointStar,    ///< (child ⋈)* / (⋈ child)* — semi-naive iteration
   kReachFastPath,   ///< reachTA= star — Procedure 3 or 4
+  kReachIndexScan,  ///< reachTA= star via the interval reachability index
+  kDijkstraScan,    ///< weighted shortest path / SSSP tree over rho
 };
 
 const char* PlanOpName(PlanOp op);
@@ -217,6 +219,11 @@ struct PlanRuntime {
   size_t rounds = 0;        ///< fixpoint rounds until saturation
   size_t probe_rounds = 0;  ///< rounds whose delta probed the index
   size_t hash_rounds = 0;   ///< rounds that fell back to the hash table
+
+  // ---- kDijkstraScan ---------------------------------------------------
+  bool sp_reached = false;   ///< destination reachable (or src in graph)
+  int64_t sp_distance = 0;   ///< dist(src, dst) when reached
+  size_t sp_settled = 0;     ///< nodes settled before termination
 
   // ---- profiling (ExecutePlan with profile=true only) -----------------
   //
@@ -248,6 +255,12 @@ struct PlanNode {
   JoinSpec spec;            ///< joins + stars; selections use spec.cond
   bool star_right = true;   ///< kFixpointStar: (e ⋈)* vs (⋈ e)*
   bool reach_same_middle = false;  ///< kReachFastPath: Procedure 4 vs 3
+
+  /// kDijkstraScan: source / destination object *names*, resolved
+  /// against the store at execution time (NotFound then — planning
+  /// never fails).  Empty sp_dst means the full shortest-path tree.
+  std::string sp_src;
+  std::string sp_dst;
 
   /// kMergeJoin: the key columns the two sorted runs are walked on.
   /// The left run is Scan(IndexOrder(merge_lcol)) — the permutation
@@ -283,6 +296,13 @@ struct PlanNode {
 /// (CachedStats) but never forces a permutation build — estimates are
 /// generic heuristics until something computes the real counts.
 PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store);
+
+/// Plans a weighted shortest-path query over relation `rel`: a
+/// DijkstraScan above the relation's scan.  `dst` empty plans the full
+/// shortest-path tree from `src`.  Like PlanExpr this never fails —
+/// unknown relation or object names surface as kNotFound at execution.
+PlanPtr PlanShortestPath(const TripleStore& store, const std::string& rel,
+                         const std::string& src, const std::string& dst);
 
 /// Runs the tree, filling each node's `runtime`.  Re-entrant per node
 /// tree (a tree may be executed again; runtime is overwritten).  The

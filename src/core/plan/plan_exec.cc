@@ -22,7 +22,11 @@
 
 #include "core/eval.h"
 #include "core/fast_reach.h"
+#include "core/fragment.h"
 #include "core/plan/plan.h"
+#include "core/reach/dijkstra.h"
+#include "core/reach/reach_index.h"
+#include "util/interner.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 
@@ -176,6 +180,44 @@ class Executor {
         TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
         NoteRows(*n.children[0], base);
         return SemiNaiveStar(n, base);
+      }
+      case PlanOp::kReachIndexScan: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
+        NoteRows(*n.children[0], base);
+        n.runtime.strategy = "interval-index";
+        // GetOrBuild attaches through `base`'s shared cache cell, so a
+        // cold build on an IndexScan child warms the store's relation
+        // for every later query.
+        std::shared_ptr<const reach::ReachIndex> idx =
+            reach::ReachIndex::GetOrBuild(base, limits_.exec);
+        if (MetricsEnabled()) {
+          MetricsRegistry::Global().GetCounter("reach.index_hits")
+              ->Increment();
+        }
+        return idx->EmitStar(base, limits_.exec, limits_.max_result_triples);
+      }
+      case PlanOp::kDijkstraScan: {
+        TRIAL_ASSIGN_OR_RETURN(TripleSet base, Exec(*n.children[0]));
+        NoteRows(*n.children[0], base);
+        n.runtime.strategy = "dijkstra";
+        const ObjId src = store_.FindObject(n.sp_src);
+        if (src == kInvalidIntern) {
+          return Status::NotFound("unknown object: " + n.sp_src);
+        }
+        ObjId dst = kInvalidIntern;
+        if (!n.sp_dst.empty()) {
+          dst = store_.FindObject(n.sp_dst);
+          if (dst == kInvalidIntern) {
+            return Status::NotFound("unknown object: " + n.sp_dst);
+          }
+        }
+        TRIAL_ASSIGN_OR_RETURN(
+            reach::ShortestPathResult sp,
+            reach::DijkstraShortestPath(base, store_, src, dst));
+        n.runtime.sp_reached = sp.reached;
+        n.runtime.sp_distance = sp.distance;
+        n.runtime.sp_settled = sp.settled;
+        return std::move(sp.edges);
       }
     }
     return Status::Internal("unknown plan operator");
@@ -512,9 +554,20 @@ class Executor {
     // and merge order are untouched, so results stay byte-identical.
     size_t threads = limits_.exec.EffectiveThreads();
     size_t reserve_hint = 0;
-    if (n.est_rows > 0) {
-      double per_chunk = n.est_rows / static_cast<double>(
-                                          threads * kChunksPerThread);
+    double est_out = n.est_rows;
+    // A warm reachability index bounds the any-path star's output
+    // exactly (up to overlapping per-group closures) — better than the
+    // planner's heuristic for sizing the chunk buffers.  Reserve only:
+    // contents and merge order are untouched.
+    if (n.star_right && IsReachSpecA(n.spec)) {
+      if (std::shared_ptr<const reach::ReachIndex> idx =
+              reach::ReachIndex::Cached(base)) {
+        est_out = static_cast<double>(idx->star_output_rows());
+      }
+    }
+    if (est_out > 0) {
+      double per_chunk = est_out / static_cast<double>(
+                                       threads * kChunksPerThread);
       // Clamp in double before the cast: estimates compound without
       // bound through key-less joins, and casting an out-of-range
       // double to size_t is UB.

@@ -41,10 +41,17 @@
 #include "core/fragment.h"
 #include "core/plan/plan.h"
 #include "core/plan/reorder.h"
+#include "core/reach/reach_index.h"
 
 namespace trial {
 namespace plan {
 namespace {
+
+// Estimated-output floor for building the interval reachability index
+// cold (no warm index on the base relation): below this, one Procedure 3
+// DFS pass is cheaper than SCC contraction + labeling, and the build
+// would not amortize within the query.  A warm index is always used.
+constexpr double kReachIndexMinRows = 4096;
 
 // Running cardinality info during lowering.
 struct Card {
@@ -278,6 +285,25 @@ class Planner {
           node->op = PlanOp::kReachFastPath;
           node->reach_same_middle = reach_b;
           c.rows = cb.rows * std::sqrt(std::max(cb.distinct[2], 1.0));
+          // Any-path stars route through the interval reachability
+          // index when it is warm on the base relation (then its exact
+          // output bound replaces the heuristic estimate), or cold when
+          // the estimated output is large enough to amortize the build.
+          // Cold builds are gated to store-backed bases: the index
+          // caches on the relation's shared cell and pays off across
+          // queries, where a derived base's cell dies with the query.
+          if (reach_a && base->op == PlanOp::kIndexScan) {
+            std::shared_ptr<const reach::ReachIndex> warm;
+            if (const TripleSet* rel = store_.FindRelation(base->rel_name)) {
+              warm = reach::ReachIndex::Cached(*rel);
+            }
+            if (warm != nullptr) {
+              node->op = PlanOp::kReachIndexScan;
+              c.rows = static_cast<double>(warm->star_output_rows());
+            } else if (c.rows >= kReachIndexMinRows) {
+              node->op = PlanOp::kReachIndexScan;
+            }
+          }
         } else {
           node->op = PlanOp::kFixpointStar;
           // Probed permutation of the fixed side for small deltas.
@@ -307,6 +333,44 @@ class Planner {
 
 PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store) {
   return Planner(store).Lower(*e);
+}
+
+PlanPtr PlanShortestPath(const TripleStore& store, const std::string& rel,
+                         const std::string& src, const std::string& dst) {
+  // The child is the kRel lowering: an IndexScan with cached-stats
+  // cardinalities (or the uniform-cube fallback), zero for an unknown
+  // relation — execution reports kNotFound, planning never fails.
+  PlanPtr child = std::make_unique<PlanNode>();
+  child->op = PlanOp::kIndexScan;
+  child->rel_name = rel;
+  Card cc;
+  if (const TripleSet* r = store.FindRelation(rel)) {
+    cc.rows = static_cast<double>(r->size());
+    if (const TripleSetStats* stats = r->CachedStats()) {
+      for (int i = 0; i < 3; ++i) {
+        cc.distinct[i] = static_cast<double>(stats->distinct[i]);
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) cc.distinct[i] = DefaultDistinct(cc.rows);
+    }
+  }
+  SetCard(child.get(), cc);
+
+  PlanPtr node = std::make_unique<PlanNode>();
+  node->op = PlanOp::kDijkstraScan;
+  node->sp_src = src;
+  node->sp_dst = dst;
+  // Output rows: a single path is ~one edge per hop — sqrt(nodes) for
+  // the usual small-world/hierarchy shapes — while the full tree has
+  // one parent edge per reachable node.
+  double nodes = std::max({cc.distinct[0], cc.distinct[2], 1.0});
+  Card c;
+  c.rows = dst.empty() ? std::max(nodes - 1.0, 0.0)
+                       : std::sqrt(nodes) + 1.0;
+  for (int i = 0; i < 3; ++i) c.distinct[i] = DefaultDistinct(c.rows);
+  node->children.push_back(std::move(child));
+  SetCard(node.get(), c);
+  return node;
 }
 
 }  // namespace plan

@@ -202,6 +202,16 @@ std::string ExplainAnalyze(const PlanNode& root) {
                       n.runtime.hash_rounds);
         out->append(buf);
       }
+      if (n.op == PlanOp::kDijkstraScan && n.runtime.executed) {
+        if (n.runtime.sp_reached) {
+          std::snprintf(buf, sizeof buf, " dist=%lld settled=%zu",
+                        static_cast<long long>(n.runtime.sp_distance),
+                        n.runtime.sp_settled);
+          out->append(buf);
+        } else {
+          out->append(" unreachable");
+        }
+      }
       out->append("\n");
       for (const PlanPtr& c : n.children) Render(*c, depth + 1);
     }

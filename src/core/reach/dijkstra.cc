@@ -1,0 +1,122 @@
+#include "core/reach/dijkstra.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/reach/graph.h"
+
+namespace trial {
+namespace reach {
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+constexpr uint32_t kNoEdge = UINT32_MAX;
+
+}  // namespace
+
+Result<ShortestPathResult> DijkstraShortestPath(const TripleSet& base,
+                                                const TripleStore& store,
+                                                ObjId src, ObjId dst) {
+  const std::vector<Triple>& spo = base.triples();
+  ShortestPathResult r;
+  const bool have_dst = dst != kInvalidIntern;
+  if (have_dst && dst == src) {
+    r.reached = true;  // trivially, by the empty path
+    return r;
+  }
+  NodeMap ids(base);
+  const uint32_t dsrc = ids.DenseOrNoNode(src);
+  if (dsrc == kNoNode) return r;  // src has no edges: nothing reachable
+  const uint32_t ddst = have_dst ? ids.DenseOrNoNode(dst) : kNoNode;
+  if (have_dst && ddst == kNoNode) return r;
+  Csr g = Csr::FromSpo(spo, ids);
+
+  // Per-predicate weights, validated up front: rejecting a negative
+  // weight must not depend on how far the search got (early exit at
+  // dst would otherwise make the error order-dependent).
+  std::unordered_map<ObjId, int64_t> weight;
+  for (size_t i = 0; i < spo.size(); ++i) {
+    const ObjId p = spo[i].p;
+    if (weight.count(p)) continue;
+    int64_t w = 1;
+    if (p < store.NumObjects() && store.Value(p).is_int()) {
+      w = store.Value(p).AsInt();
+      if (w < 0) {
+        return Status::InvalidArgument(
+            "negative edge weight rho(" + std::string(store.ObjectName(p)) +
+            ") = " + std::to_string(w));
+      }
+    }
+    weight.emplace(p, w);
+  }
+
+  const uint32_t n = static_cast<uint32_t>(ids.size());
+  std::vector<int64_t> dist(n, kInf);
+  std::vector<uint32_t> parent_edge(n, kNoEdge);
+  std::vector<uint8_t> settled(n, 0);
+  // (distance, node), popped smallest-first; the node tie-break plus
+  // strictly-smaller relaxation in SPO edge order pins the parent tree.
+  using Entry = std::pair<int64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  dist[dsrc] = 0;
+  pq.push({0, dsrc});
+  while (!pq.empty()) {
+    const Entry top = pq.top();
+    pq.pop();
+    const uint32_t u = top.second;
+    if (settled[u]) continue;  // stale entry
+    settled[u] = 1;
+    ++r.settled;
+    if (top.first > r.distance) r.distance = top.first;
+    if (have_dst && u == ddst) break;
+    for (uint32_t e = g.off[u]; e < g.off[u + 1]; ++e) {
+      const uint32_t v = g.to[e];
+      if (settled[v]) continue;
+      const int64_t nd = dist[u] + weight.find(spo[e].p)->second;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent_edge[v] = static_cast<uint32_t>(e);
+        pq.push({nd, v});
+      }
+    }
+  }
+
+  // Emit: parent edges are SPO indexes (Csr edge order == SPO order),
+  // so collecting them sorted yields a sorted-unique subset of the
+  // base relation — adopted without a normalize sort.
+  std::vector<uint32_t> edge_idx;
+  if (have_dst) {
+    if (!settled[ddst]) return r;  // unreachable
+    r.reached = true;
+    r.distance = dist[ddst];
+    for (uint32_t v = ddst; v != dsrc; v = ids.Dense(spo[parent_edge[v]].s)) {
+      edge_idx.push_back(parent_edge[v]);
+    }
+    std::sort(edge_idx.begin(), edge_idx.end());
+  } else {
+    r.reached = true;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (parent_edge[v] != kNoEdge && settled[v]) {
+        edge_idx.push_back(parent_edge[v]);
+      }
+    }
+    // Already ascending (v-ascending visits parent edges unordered —
+    // sort to be safe; cheap relative to the search).
+    std::sort(edge_idx.begin(), edge_idx.end());
+    edge_idx.erase(std::unique(edge_idx.begin(), edge_idx.end()),
+                   edge_idx.end());
+  }
+  std::vector<Triple> edges;
+  edges.reserve(edge_idx.size());
+  for (uint32_t e : edge_idx) edges.push_back(spo[e]);
+  r.edges = TripleSet::FromSortedUnique(std::move(edges));
+  return r;
+}
+
+}  // namespace reach
+}  // namespace trial

@@ -1,0 +1,42 @@
+#include "core/reach/graph.h"
+
+#include <algorithm>
+
+namespace trial {
+namespace reach {
+
+NodeMap::NodeMap(const TripleSet& base) {
+  // Distinct subjects and objects are the leading runs of the SPO and
+  // OSP orders; the node list is their sorted union.
+  std::vector<ObjId> subjects, objects;
+  for (const Triple& t : base.Scan(IndexOrder::kSPO)) {
+    if (subjects.empty() || subjects.back() != t.s) subjects.push_back(t.s);
+  }
+  for (const Triple& t : base.Scan(IndexOrder::kOSP)) {
+    if (objects.empty() || objects.back() != t.o) objects.push_back(t.o);
+  }
+  nodes_.reserve(subjects.size() + objects.size());
+  std::set_union(subjects.begin(), subjects.end(), objects.begin(),
+                 objects.end(), std::back_inserter(nodes_));
+  size_t bound = nodes_.empty() ? 0 : nodes_.back() + 1;
+  if (bound <= 4 * nodes_.size() + 1024) {
+    direct_.assign(bound, kNoNode);
+    for (uint32_t i = 0; i < nodes_.size(); ++i) direct_[nodes_[i]] = i;
+  }
+}
+
+Csr Csr::FromSpo(const std::vector<Triple>& spo, const NodeMap& ids) {
+  Csr g;
+  g.off.assign(ids.size() + 1, 0);
+  g.to.resize(spo.size());
+  // SPO is sorted by subject and dense order == raw order, so subject
+  // runs appear dense-ascending: a degree prefix sum gives each run's
+  // start at exactly its SPO position, making edge index == SPO index.
+  for (const Triple& t : spo) ++g.off[ids.Dense(t.s) + 1];
+  for (size_t u = 1; u < g.off.size(); ++u) g.off[u] += g.off[u - 1];
+  for (size_t i = 0; i < spo.size(); ++i) g.to[i] = ids.Dense(spo[i].o);
+  return g;
+}
+
+}  // namespace reach
+}  // namespace trial

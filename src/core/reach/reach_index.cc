@@ -1,0 +1,517 @@
+#include "core/reach/reach_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace trial {
+namespace reach {
+namespace {
+
+// A build-time interval over pid space.  `exact` means every pid in
+// [lo, hi] is truly reachable; an inexact interval over-approximates.
+struct Iv {
+  uint32_t lo, hi;
+  uint8_t exact;
+};
+
+// Coalesces `scratch` (any order) into `out`: sorted by lo, disjoint,
+// non-adjacent.  Overlapping or adjacent inputs merge; the union of
+// exact sets over a contiguous range is exact, anything touched by an
+// approximate input (other than one fully contained in the running
+// interval, which adds nothing) turns approximate.
+void Coalesce(std::vector<Iv>& scratch, std::vector<Iv>* out) {
+  std::sort(scratch.begin(), scratch.end(), [](const Iv& a, const Iv& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  });
+  out->clear();
+  for (const Iv& iv : scratch) {
+    if (out->empty() || (iv.lo > out->back().hi && iv.lo - out->back().hi > 1)) {
+      out->push_back(iv);
+      continue;
+    }
+    Iv& back = out->back();
+    if (iv.hi <= back.hi) continue;  // contained: no new pids
+    back.exact = back.exact && iv.exact;
+    back.hi = iv.hi;
+  }
+}
+
+// FERRARI budget reduction: while over budget, merge the adjacent pair
+// with the smallest gap.  Any gap merge admits unreachable pids, so the
+// merged interval is approximate.
+void ApplyBudget(std::vector<Iv>* ivs, size_t budget) {
+  if (budget == 0) return;
+  while (ivs->size() > budget) {
+    size_t best = 0;
+    uint32_t best_gap = UINT32_MAX;
+    for (size_t i = 0; i + 1 < ivs->size(); ++i) {
+      uint32_t gap = (*ivs)[i + 1].lo - (*ivs)[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    (*ivs)[best].hi = (*ivs)[best + 1].hi;
+    (*ivs)[best].exact = 0;
+    ivs->erase(ivs->begin() + best + 1);
+  }
+}
+
+// Cap on the emission reserve derived from the (near-exact)
+// closure-size bound: 16Mi triples ≈ 192 MiB.  The bound over-counts
+// only overlapping multi-object groups, so reserving it fully avoids
+// the mid-emit regrow (a copy of the whole output) that dominated the
+// large-output benchmark rows; the cap bounds the up-front allocation
+// when the guard is going to abort the emission anyway.
+constexpr size_t kEmitReserveCap = size_t{1} << 24;
+
+// Parallel chunks flush emit counts into the shared result-size guard
+// every this many outputs (same cadence as the plan executor's join
+// kernels): prompt aborts without per-triple atomic contention.
+constexpr size_t kGuardStride = 4096;
+
+}  // namespace
+
+std::shared_ptr<const ReachIndex> ReachIndex::Cached(const TripleSet& base) {
+  return std::static_pointer_cast<const ReachIndex>(base.CachedReachIndex());
+}
+
+std::shared_ptr<const ReachIndex> ReachIndex::GetOrBuild(
+    const TripleSet& base, const ExecOptions& exec,
+    const ReachIndexOptions& opts) {
+  std::shared_ptr<const ReachIndex> cached = Cached(base);
+  if (cached != nullptr) return cached;
+  std::shared_ptr<const ReachIndex> built = Build(base, exec, opts);
+  base.AttachReachIndex(built);
+  return built;
+}
+
+std::shared_ptr<const ReachIndex> ReachIndex::Build(
+    const TripleSet& base, const ExecOptions& exec,
+    const ReachIndexOptions& opts) {
+  const uint64_t t0 = MonotonicNanos();
+  std::shared_ptr<ReachIndex> idx(new ReachIndex());
+  const std::vector<Triple>& spo = base.triples();
+  idx->ids_ = NodeMap(base);
+  const NodeMap& ids = idx->ids_;
+  const uint32_t n = static_cast<uint32_t>(ids.size());
+  Csr g = Csr::FromSpo(spo, ids);
+
+  // ---- Tarjan SCC contraction (iterative) ----------------------------
+  //
+  // Components are numbered in completion order, which for Tarjan is
+  // reverse topological: every condensation edge goes from a higher
+  // component id to a lower one.  That makes the component ids directly
+  // usable as the postorder pids the interval labeling needs.
+  idx->comp_.assign(n, kNoNode);
+  {
+    std::vector<uint32_t> dfs_index(n, kNoNode), low(n, 0);
+    std::vector<uint8_t> on_stack(n, 0);
+    std::vector<uint32_t> stk;
+    struct Frame {
+      uint32_t v;
+      uint32_t edge;  // next unexplored offset into g.to
+    };
+    std::vector<Frame> call;
+    uint32_t counter = 0, sccs = 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (dfs_index[r] != kNoNode) continue;
+      call.push_back({r, g.off[r]});
+      dfs_index[r] = low[r] = counter++;
+      stk.push_back(r);
+      on_stack[r] = 1;
+      while (!call.empty()) {
+        Frame& f = call.back();
+        const uint32_t v = f.v;
+        if (f.edge < g.off[v + 1]) {
+          // Read and advance before any push: pushing may reallocate
+          // the call stack and invalidate `f`.
+          const uint32_t w = g.to[f.edge++];
+          if (dfs_index[w] == kNoNode) {
+            call.push_back({w, g.off[w]});
+            dfs_index[w] = low[w] = counter++;
+            stk.push_back(w);
+            on_stack[w] = 1;
+          } else if (on_stack[w] && dfs_index[w] < low[v]) {
+            low[v] = dfs_index[w];
+          }
+          continue;
+        }
+        call.pop_back();
+        if (!call.empty() && low[v] < low[call.back().v]) {
+          low[call.back().v] = low[v];
+        }
+        if (low[v] == dfs_index[v]) {
+          uint32_t w;
+          do {
+            w = stk.back();
+            stk.pop_back();
+            on_stack[w] = 0;
+            idx->comp_[w] = sccs;
+          } while (w != v);
+          ++sccs;
+        }
+      }
+    }
+    idx->num_sccs_ = sccs;
+  }
+  const uint32_t nscc = idx->num_sccs_;
+
+  // ---- SCC member lists, grouped by pid ------------------------------
+  //
+  // Filling in dense-ascending order keeps each group sorted by raw id
+  // (dense order == raw order), which EmitStar's run expansion relies
+  // on.
+  idx->members_off_.assign(nscc + 1, 0);
+  for (uint32_t d = 0; d < n; ++d) ++idx->members_off_[idx->comp_[d] + 1];
+  for (uint32_t p = 1; p <= nscc; ++p) {
+    idx->members_off_[p] += idx->members_off_[p - 1];
+  }
+  idx->members_.resize(n);
+  {
+    std::vector<uint32_t> cursor(idx->members_off_.begin(),
+                                 idx->members_off_.end() - 1);
+    for (uint32_t d = 0; d < n; ++d) {
+      idx->members_[cursor[idx->comp_[d]]++] = ids.Raw(d);
+    }
+  }
+
+  // ---- condensation adjacency (pid CSR) ------------------------------
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t u = 0; u < n; ++u) {
+      const uint32_t cu = idx->comp_[u];
+      for (uint32_t e = g.off[u]; e < g.off[u + 1]; ++e) {
+        const uint32_t cv = idx->comp_[g.to[e]];
+        if (cu != cv) edges.emplace_back(cu, cv);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    idx->dag_off_.assign(nscc + 1, 0);
+    for (const auto& e : edges) ++idx->dag_off_[e.first + 1];
+    for (uint32_t p = 1; p <= nscc; ++p) {
+      idx->dag_off_[p] += idx->dag_off_[p - 1];
+    }
+    idx->dag_to_.reserve(edges.size());
+    for (const auto& e : edges) idx->dag_to_.push_back(e.second);
+  }
+
+  // ---- interval labeling ---------------------------------------------
+  //
+  // Every condensation edge points to a smaller pid, so an ascending
+  // sweep sees all successors before their predecessor.  For parallel
+  // construction the sweep is layered by longest-path-to-sink level:
+  // within one level no node depends on another, so a level's merges
+  // run concurrently and the result is independent of scheduling.
+  std::vector<std::vector<Iv>> ivs(nscc);
+  {
+    std::vector<uint32_t> level(nscc, 0);
+    uint32_t max_level = 0;
+    for (uint32_t p = 0; p < nscc; ++p) {
+      uint32_t lv = 0;
+      for (uint32_t e = idx->dag_off_[p]; e < idx->dag_off_[p + 1]; ++e) {
+        lv = std::max(lv, level[idx->dag_to_[e]] + 1);
+      }
+      level[p] = lv;
+      max_level = std::max(max_level, lv);
+    }
+    std::vector<std::vector<uint32_t>> buckets(
+        static_cast<size_t>(max_level) + 1);
+    for (uint32_t p = 0; p < nscc; ++p) buckets[level[p]].push_back(p);
+
+    auto build_node = [&](uint32_t p, std::vector<Iv>* scratch) {
+      scratch->clear();
+      scratch->push_back({p, p, 1});
+      for (uint32_t e = idx->dag_off_[p]; e < idx->dag_off_[p + 1]; ++e) {
+        const std::vector<Iv>& sv = ivs[idx->dag_to_[e]];
+        scratch->insert(scratch->end(), sv.begin(), sv.end());
+      }
+      Coalesce(*scratch, &ivs[p]);
+      ApplyBudget(&ivs[p], opts.interval_budget);
+    };
+    const size_t threads = exec.EffectiveThreads();
+    for (const std::vector<uint32_t>& bucket : buckets) {
+      if (exec.ShouldParallelize(bucket.size())) {
+        std::vector<ChunkRange> chunks = SplitEven(bucket.size(), threads);
+        ParallelFor(chunks.size(), threads, [&](size_t c) {
+          std::vector<Iv> scratch;
+          for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+            build_node(bucket[i], &scratch);
+          }
+        });
+      } else {
+        std::vector<Iv> scratch;
+        for (uint32_t p : bucket) build_node(p, &scratch);
+      }
+    }
+  }
+
+  // ---- flatten + derived stats ---------------------------------------
+  idx->iv_off_.assign(nscc + 1, 0);
+  for (uint32_t p = 0; p < nscc; ++p) {
+    idx->iv_off_[p + 1] = idx->iv_off_[p] +
+                          static_cast<uint32_t>(ivs[p].size());
+  }
+  const size_t total_ivs = idx->iv_off_[nscc];
+  idx->iv_lo_.reserve(total_ivs);
+  idx->iv_hi_.reserve(total_ivs);
+  idx->iv_exact_.reserve(total_ivs);
+  idx->pid_exact_.assign(nscc, 1);
+  idx->closure_size_.assign(nscc, 0);
+  for (uint32_t p = 0; p < nscc; ++p) {
+    for (const Iv& iv : ivs[p]) {
+      idx->iv_lo_.push_back(iv.lo);
+      idx->iv_hi_.push_back(iv.hi);
+      idx->iv_exact_.push_back(iv.exact);
+      if (!iv.exact) {
+        idx->pid_exact_[p] = 0;
+        idx->exact_ = false;
+      }
+      idx->closure_size_[p] += idx->members_off_[iv.hi + 1] -
+                               idx->members_off_[iv.lo];
+    }
+  }
+  uint64_t rows = 0;
+  for (const Triple& t : spo) {
+    rows += idx->closure_size_[idx->comp_[ids.Dense(t.o)]];
+  }
+  idx->star_rows_ = rows;
+
+  idx->build_ns_ = MonotonicNanos() - t0;
+  if (MetricsEnabled()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("reach.index_builds")->Increment();
+    reg.GetHistogram("reach.index_build_ns")->Observe(idx->build_ns_);
+  }
+  return idx;
+}
+
+ptrdiff_t ReachIndex::FindCovering(uint32_t p, uint32_t t) const {
+  const auto first = iv_lo_.begin() + iv_off_[p];
+  const auto last = iv_lo_.begin() + iv_off_[p + 1];
+  auto it = std::upper_bound(first, last, t);
+  if (it == first) return -1;
+  const ptrdiff_t i = (it - iv_lo_.begin()) - 1;
+  return iv_hi_[i] >= t ? i : -1;
+}
+
+bool ReachIndex::DfsReaches(uint32_t cf, uint32_t ct) const {
+  // The approximate-hit fallback: DFS over the condensation, entering
+  // only successors whose (over-approximating, hence sound) interval
+  // set could still contain the target.  Per-call scratch — this path
+  // only runs for budgeted indexes.
+  std::vector<uint8_t> visited(num_sccs_, 0);
+  std::vector<uint32_t> stack(1, cf);
+  visited[cf] = 1;
+  while (!stack.empty()) {
+    const uint32_t u = stack.back();
+    stack.pop_back();
+    if (u == ct) return true;
+    for (uint32_t e = dag_off_[u]; e < dag_off_[u + 1]; ++e) {
+      const uint32_t w = dag_to_[e];
+      if (visited[w]) continue;
+      const ptrdiff_t iv = FindCovering(w, ct);
+      if (iv < 0) continue;
+      if (iv_exact_[iv]) return true;
+      visited[w] = 1;
+      stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool ReachIndex::Reaches(ObjId from, ObjId to) const {
+  if (from == to) return true;  // the star is reflexive
+  const uint32_t df = ids_.DenseOrNoNode(from);
+  const uint32_t dt = ids_.DenseOrNoNode(to);
+  if (df == kNoNode || dt == kNoNode) return false;
+  const uint32_t cf = comp_[df], ct = comp_[dt];
+  if (cf == ct) return true;  // same SCC
+  const ptrdiff_t iv = FindCovering(cf, ct);
+  if (iv < 0) return false;          // not even over-approximated
+  if (iv_exact_[iv]) return true;    // exact interval: definite
+  return DfsReaches(cf, ct);
+}
+
+void ReachIndex::EnsureClosures(const ExecOptions& exec) const {
+  std::call_once(closures_once_, [&] {
+    std::vector<std::vector<ObjId>> cl(num_sccs_);
+    auto build_range = [&](size_t begin, size_t end) {
+      std::vector<uint32_t> stack, seen;
+      std::vector<uint8_t> visited;  // sized lazily: approx pids only
+      for (size_t p = begin; p < end; ++p) {
+        std::vector<ObjId>& out = cl[p];
+        if (pid_exact_[p]) {
+          // Exact interval set: the closure is the concatenation of one
+          // contiguous member run per interval.
+          out.reserve(closure_size_[p]);
+          for (uint32_t i = iv_off_[p]; i < iv_off_[p + 1]; ++i) {
+            out.insert(out.end(), members_.begin() + members_off_[iv_lo_[i]],
+                       members_.begin() + members_off_[iv_hi_[i] + 1]);
+          }
+        } else {
+          // Approximate pid: recover the exact reachable pid set by
+          // condensation DFS, then expand members.
+          if (visited.empty()) visited.assign(num_sccs_, 0);
+          stack.assign(1, static_cast<uint32_t>(p));
+          seen.assign(1, static_cast<uint32_t>(p));
+          visited[p] = 1;
+          while (!stack.empty()) {
+            const uint32_t u = stack.back();
+            stack.pop_back();
+            out.insert(out.end(), members_.begin() + members_off_[u],
+                       members_.begin() + members_off_[u + 1]);
+            for (uint32_t e = dag_off_[u]; e < dag_off_[u + 1]; ++e) {
+              const uint32_t w = dag_to_[e];
+              if (visited[w]) continue;
+              visited[w] = 1;
+              seen.push_back(w);
+              stack.push_back(w);
+            }
+          }
+          for (uint32_t u : seen) visited[u] = 0;
+        }
+        std::sort(out.begin(), out.end());
+      }
+    };
+    if (exec.ShouldParallelize(num_sccs_)) {
+      const size_t threads = exec.EffectiveThreads();
+      std::vector<ChunkRange> chunks = SplitEven(num_sccs_, threads);
+      ParallelFor(chunks.size(), threads, [&](size_t c) {
+        build_range(chunks[c].begin, chunks[c].end);
+      });
+    } else {
+      build_range(0, num_sccs_);
+    }
+    closures_ = std::move(cl);
+  });
+}
+
+Result<TripleSet> ReachIndex::EmitStar(const TripleSet& base,
+                                       const ExecOptions& exec,
+                                       size_t max_result_triples) const {
+  const std::vector<Triple>& spo = base.triples();
+  if (spo.empty()) return TripleSet();
+  EnsureClosures(exec);
+
+  auto closure_of = [&](ObjId o) -> const std::vector<ObjId>& {
+    return closures_[comp_[ids_.Dense(o)]];
+  };
+  // Emits [begin, end) — which must start and end at (s, p) group
+  // boundaries — appending sorted-unique triples.  `guard` sees the
+  // running output size after each group; false aborts.
+  auto emit_chunk = [&](size_t begin, size_t end, std::vector<Triple>* out,
+                        const auto& guard) {
+    std::vector<ObjId> scratch;
+    size_t i = begin;
+    while (i < end) {
+      size_t j = i + 1;
+      while (j < end && spo[j].s == spo[i].s && spo[j].p == spo[i].p) ++j;
+      const ObjId s = spo[i].s, p = spo[i].p;
+      if (j - i == 1) {
+        // Single object: its sorted closure is the group's output run.
+        for (ObjId l : closure_of(spo[i].o)) out->push_back({s, p, l});
+      } else {
+        // Multiple objects: merge their (possibly overlapping) sorted
+        // closures, then dedup.
+        const std::vector<ObjId>& first = closure_of(spo[i].o);
+        scratch.assign(first.begin(), first.end());
+        for (size_t k = i + 1; k < j; ++k) {
+          const std::vector<ObjId>& c = closure_of(spo[k].o);
+          const size_t mid = scratch.size();
+          scratch.insert(scratch.end(), c.begin(), c.end());
+          std::inplace_merge(scratch.begin(), scratch.begin() + mid,
+                             scratch.end());
+        }
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        for (ObjId l : scratch) out->push_back({s, p, l});
+      }
+      if (!guard(out->size())) return false;
+      i = j;
+    }
+    return true;
+  };
+
+  if (exec.ShouldParallelize(spo.size())) {
+    const size_t threads = exec.EffectiveThreads();
+    // Chunk boundaries snapped forward to (s, p) group ends: chunk
+    // outputs then concatenate in order to the globally sorted-unique
+    // result, for any thread count.
+    std::vector<size_t> bounds(1, 0);
+    for (const ChunkRange& c : SplitEven(spo.size(), threads * kChunksPerThread)) {
+      size_t e = c.end;
+      while (e < spo.size() && spo[e].s == spo[e - 1].s &&
+             spo[e].p == spo[e - 1].p) {
+        ++e;
+      }
+      if (e > bounds.back()) bounds.push_back(e);
+    }
+    const size_t nchunks = bounds.size() - 1;
+    std::vector<std::vector<Triple>> bufs(nchunks);
+    std::atomic<size_t> emitted{0};
+    std::atomic<bool> overflow{false};
+    ParallelFor(nchunks, threads, [&](size_t c) {
+      std::vector<Triple>* out = &bufs[c];
+      // Near-exact per-chunk bound (over-counts only overlapping
+      // multi-object groups) right-sizes the buffer.
+      uint64_t bound = 0;
+      for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        bound += closure_size_[comp_[ids_.Dense(spo[i].o)]];
+      }
+      out->reserve(static_cast<size_t>(
+          std::min<uint64_t>(bound, kEmitReserveCap)));
+      size_t flushed = 0;
+      emit_chunk(bounds[c], bounds[c + 1], out, [&](size_t produced) {
+        if (overflow.load(std::memory_order_relaxed)) return false;
+        if (produced - flushed >= kGuardStride) {
+          const size_t total =
+              emitted.fetch_add(produced - flushed,
+                                std::memory_order_relaxed) +
+              (produced - flushed);
+          flushed = produced;
+          if (total > max_result_triples) {
+            overflow.store(true, std::memory_order_relaxed);
+            return false;
+          }
+        }
+        return true;
+      });
+      emitted.fetch_add(out->size() - flushed, std::memory_order_relaxed);
+    });
+    size_t total = 0;
+    for (const std::vector<Triple>& b : bufs) total += b.size();
+    if (overflow.load() || total > max_result_triples) {
+      return Status::ResourceExhausted("star result too large");
+    }
+    std::vector<Triple> merged;
+    merged.reserve(total);
+    for (std::vector<Triple>& b : bufs) {
+      merged.insert(merged.end(), b.begin(), b.end());
+    }
+    return TripleSet::FromSortedUnique(std::move(merged));
+  }
+
+  std::vector<Triple> out;
+  // Never reserve (much) past the result guard: an overflowing emission
+  // aborts without having paid its full allocation.
+  const uint64_t guard_cap =
+      max_result_triples < kEmitReserveCap
+          ? static_cast<uint64_t>(max_result_triples) + 1
+          : kEmitReserveCap;
+  out.reserve(static_cast<size_t>(std::min(star_rows_, guard_cap)));
+  bool fits = true;
+  emit_chunk(0, spo.size(), &out, [&](size_t produced) {
+    fits = produced <= max_result_triples;
+    return fits;
+  });
+  if (!fits) return Status::ResourceExhausted("star result too large");
+  return TripleSet::FromSortedUnique(std::move(out));
+}
+
+}  // namespace reach
+}  // namespace trial

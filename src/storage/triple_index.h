@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/triple.h"
@@ -138,6 +139,13 @@ struct TripleIndexCache {
   bool base_built = false;
   TripleSetStats stats;
   bool stats_built = false;
+  // Derived reachability index over the set's projected graph,
+  // type-erased so the storage layer stays ignorant of the concrete
+  // type (core/reach/reach_index.h owns it).  Living on the cache cell
+  // gives it the permutation indexes' exact lifecycle: shared between
+  // copies of the same normalized contents, dropped when a mutation
+  // detaches the mutated set onto a fresh cell.
+  std::shared_ptr<const void> reach;
 
   /// The permutation of `spo` for `order`, building it on first use
   /// (`order` must be kPOS or kOSP; kSPO is the base vector itself).

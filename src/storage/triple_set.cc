@@ -1,6 +1,7 @@
 #include "storage/triple_set.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/parallel.h"
 
@@ -135,6 +136,15 @@ const TripleSetStats& TripleSet::Stats() const {
   if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
   if (cache_->stats_built) return cache_->stats;  // snapshot pre-seeds these
   return cache_->Stats(OrderVector(IndexOrder::kSPO));
+}
+
+TripleSet TripleSet::FromSortedUnique(std::vector<Triple> triples) {
+  assert(std::is_sorted(triples.begin(), triples.end()));
+  assert(std::adjacent_find(triples.begin(), triples.end()) ==
+         triples.end());
+  TripleSet r;
+  r.triples_ = std::move(triples);
+  return r;
 }
 
 TripleSet TripleSet::Union(const TripleSet& a, const TripleSet& b) {

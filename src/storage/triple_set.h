@@ -164,6 +164,32 @@ class TripleSet {
                : nullptr;
   }
 
+  /// The reachability index attached to this set's cache cell, or
+  /// nullptr when none is attached (or staged inserts are pending).
+  /// Type-erased: core/reach/reach_index.h owns the concrete type and
+  /// does the casting.  Never forces a build.
+  std::shared_ptr<const void> CachedReachIndex() const {
+    return staged_.empty() && cache_ != nullptr ? cache_->reach : nullptr;
+  }
+
+  /// Attaches a reachability index to the cache cell (normalizing
+  /// first, so a later Normalize with no staged inserts cannot detach
+  /// it).  Copies sharing the cell — including the store's relation
+  /// when this set was copied out of a store — see it immediately; the
+  /// next mutation of any sharer detaches that sharer onto a fresh
+  /// cell, invalidating its view of the index.
+  void AttachReachIndex(std::shared_ptr<const void> index) const {
+    Normalize();
+    if (cache_ == nullptr) cache_ = std::make_shared<TripleIndexCache>();
+    cache_->reach = std::move(index);
+  }
+
+  /// Adopts an already sorted, duplicate-free vector as the set's SPO
+  /// body without re-sorting (debug-asserted).  For operators that
+  /// produce output in globally sorted order, this skips the
+  /// O(n log n) normalize sort that Insert-then-read would pay.
+  static TripleSet FromSortedUnique(std::vector<Triple> triples);
+
   /// True while the set reads through an on-disk snapshot segment
   /// (mutation promotes it to an ordinary in-memory set).
   bool snapshot_backed() const { return source_ != nullptr; }

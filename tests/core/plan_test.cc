@@ -128,12 +128,20 @@ TEST(PlannerGolden, SelectionAccessPathTracksBoundColumns) {
 
 TEST(PlannerGolden, ReachStarsLowerToFastPath) {
   TripleStore store = SkewedStore(512);
+  // A large store-backed any-path star clears the interval-index
+  // threshold: the estimated output pays for an index build.
   PlanPtr a = PlanExpr(ReachAnyPath(Expr::Rel("E")), store);
-  ASSERT_EQ(a->op, PlanOp::kReachFastPath);
-  EXPECT_FALSE(a->reach_same_middle);
+  ASSERT_EQ(a->op, PlanOp::kReachIndexScan);
   // The reach estimate must exceed the base: the arbitrary-path star is
   // output-bound superlinear, and the estimate makes that visible.
   EXPECT_GT(a->est_rows, a->children[0]->est_rows);
+
+  // A small store stays on the direct fast path — the index build
+  // would dominate a cheap fixpoint.
+  TripleStore tiny = SkewedStore(48);
+  PlanPtr a2 = PlanExpr(ReachAnyPath(Expr::Rel("E")), tiny);
+  ASSERT_EQ(a2->op, PlanOp::kReachFastPath);
+  EXPECT_FALSE(a2->reach_same_middle);
 
   PlanPtr b = PlanExpr(ReachSameMiddle(Expr::Rel("E")), store);
   ASSERT_EQ(b->op, PlanOp::kReachFastPath);
