@@ -56,6 +56,32 @@
 namespace trial {
 namespace plan {
 
+class FeedbackCache;  // core/plan/adapt.h — learned cardinality cache
+
+// ---- planning hints ----------------------------------------------------
+
+/// A join-region subset the adaptive executor has already materialized:
+/// the DP leaf mask plus the intermediate's output schema (variable
+/// class per column).  During a mid-query re-plan the reorderer prices
+/// matching DP entries at zero cost (the work is sunk) so the suffix
+/// plan reuses them.
+struct DoneSubset {
+  uint32_t mask = 0;
+  int cls[3] = {-1, -1, -1};
+};
+
+/// Optional inputs threaded through PlanExpr / ReorderJoinRegion.  All
+/// fields may be null; the default-constructed value plans exactly as
+/// before.  Pointees must outlive the planning call.
+struct PlanningHints {
+  /// Observed cardinalities from prior executions, consulted before
+  /// statistics (adapt.h).
+  const FeedbackCache* feedback = nullptr;
+  /// Already-materialized join-region subsets of the CURRENT query —
+  /// set only by the adaptive executor's mid-query re-plan.
+  const std::vector<DoneSubset>* done_subsets = nullptr;
+};
+
 // ---- shared access / cost primitives ----------------------------------
 
 /// Access-path costing: a range probe costs ~log2(|build|) comparisons
@@ -279,6 +305,29 @@ struct PlanNode {
   /// operators' selectivity math (exact stats for kIndexScan).
   double est_distinct[3] = {0, 0, 0};
 
+  /// DP join-region bookkeeping (reorder.cc): which leaves of the
+  /// enclosing join region this subtree covers (bitmask over the
+  /// region's flattened leaf order) and the output schema's variable
+  /// class per column.  Zero mask = not part of a reordered region.
+  /// The adaptive executor (adapt.cc) keys materialized intermediates
+  /// on (region_mask, region_cls) to splice them into re-plans.
+  uint32_t region_mask = 0;
+  int region_cls[3] = {-1, -1, -1};
+
+  /// Adaptive execution: when set, ExecutePlan returns *bound instead
+  /// of executing the subtree — the adaptive executor attaches an
+  /// already-materialized intermediate here when splicing a re-planned
+  /// suffix.  Never set by the planner.
+  std::shared_ptr<const TripleSet> bound;
+
+  /// Set by the adaptive executor on nodes created (or re-costed) by a
+  /// mid-query re-plan; rendered by Explain / ExplainAnalyze as
+  /// "[replanned]".  The trigger node additionally carries the
+  /// estimated-vs-observed cardinality that forced the re-plan.
+  bool replanned = false;
+  double replan_est = 0;
+  double replan_obs = 0;
+
   std::vector<PlanPtr> children;
 
   PlanRuntime runtime;
@@ -296,6 +345,15 @@ struct PlanNode {
 /// (CachedStats) but never forces a permutation build — estimates are
 /// generic heuristics until something computes the real counts.
 PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store);
+
+/// PlanExpr with planning hints: a FeedbackCache of observed
+/// cardinalities consulted before statistics, and (during an adaptive
+/// mid-query re-plan) the set of already-materialized join-region
+/// subsets to price as sunk.  `PlanExpr(e, store)` ≡ hints = {}.
+PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store,
+                 const PlanningHints& hints);
+PlanPtr PlanExpr(const Expr& e, const TripleStore& store,
+                 const PlanningHints& hints);
 
 /// Plans a weighted shortest-path query over relation `rel`: a
 /// DijkstraScan above the relation's scan.  `dst` empty plans the full
@@ -318,6 +376,15 @@ PlanPtr PlanShortestPath(const TripleStore& store, const std::string& rel,
 Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
                               const ExecLimits& limits = {},
                               bool profile = false);
+
+/// ExecutePlan minus the per-query metrics accounting: runs the tree
+/// and verifies the snapshot, nothing else.  The adaptive executor
+/// (adapt.cc) runs each pipeline stage through this so a query that
+/// re-plans twice still counts as ONE query in exec.queries /
+/// exec.query_ns.
+Result<TripleSet> ExecutePlanStage(PlanNode& root, const TripleStore& store,
+                                   const ExecLimits& limits = {},
+                                   bool profile = false);
 
 /// Records `result`'s cardinality on the root node for Explain.  This
 /// normalizes (sorts) the result if nothing has read it yet — call it

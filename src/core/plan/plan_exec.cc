@@ -117,6 +117,13 @@ class Executor {
     n.runtime.peak_rows = std::max(a.size(), b.size());
   }
   Result<TripleSet> ExecNode(PlanNode& n) {
+    // Adaptive execution: a bound node carries an already-materialized
+    // intermediate spliced in by a mid-query re-plan (adapt.cc).  The
+    // copy shares the set's lazily-built index cache cell.
+    if (n.bound != nullptr) {
+      n.runtime.strategy = "reused";
+      return *n.bound;
+    }
     switch (n.op) {
       case PlanOp::kIndexScan: {
         const TripleSet* rel = store_.FindRelation(n.rel_name);
@@ -654,12 +661,8 @@ void CountStrategies(const PlanNode& n, MetricsRegistry& reg) {
 
 }  // namespace
 
-Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
-                              const ExecLimits& limits, bool profile) {
-  // Metrics are one relaxed atomic load when off; the clock is read
-  // only when something (metrics or profiling) will consume it.
-  const bool metrics = MetricsEnabled();
-  const uint64_t t0 = metrics ? MonotonicNanos() : 0;
+Result<TripleSet> ExecutePlanStage(PlanNode& root, const TripleStore& store,
+                                   const ExecLimits& limits, bool profile) {
   Result<TripleSet> result = Executor(store, limits, profile).Exec(root);
   // A lazy snapshot decode that hit corruption yields empty scans, not
   // a Status — surface the sticky diagnostic instead of a silently
@@ -667,6 +670,16 @@ Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
   // pass-through of a relation (a bare index scan), so force it too.
   if (result.ok()) TRIAL_RETURN_IF_ERROR(result->VerifyMaterialized());
   TRIAL_RETURN_IF_ERROR(store.SnapshotStatus());
+  return result;
+}
+
+Result<TripleSet> ExecutePlan(PlanNode& root, const TripleStore& store,
+                              const ExecLimits& limits, bool profile) {
+  // Metrics are one relaxed atomic load when off; the clock is read
+  // only when something (metrics or profiling) will consume it.
+  const bool metrics = MetricsEnabled();
+  const uint64_t t0 = metrics ? MonotonicNanos() : 0;
+  Result<TripleSet> result = ExecutePlanStage(root, store, limits, profile);
   if (metrics) {
     MetricsRegistry& reg = MetricsRegistry::Global();
     reg.GetCounter("exec.queries")->Increment();

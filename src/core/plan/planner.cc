@@ -39,6 +39,7 @@
 #include <cmath>
 
 #include "core/fragment.h"
+#include "core/plan/adapt.h"
 #include "core/plan/plan.h"
 #include "core/plan/reorder.h"
 #include "core/reach/reach_index.h"
@@ -125,9 +126,31 @@ double SourceDistinct(Pos p, const Card& l, const Card& r) {
 
 class Planner {
  public:
-  explicit Planner(const TripleStore& store) : store_(store) {}
+  Planner(const TripleStore& store, const PlanningHints& hints)
+      : store_(store), hints_(hints) {}
 
   PlanPtr Lower(const Expr& e) {
+    PlanPtr node = LowerImpl(e);
+    // Learned cardinalities beat derived estimates: a prior execution
+    // of this exact (sub)expression against this store recorded what it
+    // really produced.  Exact-by-construction nodes are left alone.
+    if (node != nullptr && hints_.feedback != nullptr &&
+        node->op != PlanOp::kIndexScan && node->op != PlanOp::kEmptyRel &&
+        node->op != PlanOp::kUniverseRel) {
+      double obs = hints_.feedback->Lookup(store_, e.ToString());
+      if (obs >= 0) {
+        node->est_rows = obs;
+        for (int i = 0; i < 3; ++i) {
+          node->est_distinct[i] =
+              std::min(node->est_distinct[i], std::max(obs, 1.0));
+        }
+      }
+    }
+    return node;
+  }
+
+ private:
+  PlanPtr LowerImpl(const Expr& e) {
     PlanPtr node = std::make_unique<PlanNode>();
     switch (e.kind()) {
       case ExprKind::kRel: {
@@ -231,7 +254,8 @@ class Planner {
         // Falls back to the written order when the region is too large
         // or its shape defeats the flattener (see reorder.cc).
         if (PlanPtr reordered = ReorderJoinRegion(
-                e, store_, [this](const Expr& sub) { return Lower(sub); })) {
+                e, store_, [this](const Expr& sub) { return Lower(sub); },
+                hints_)) {
           return reordered;
         }
         node->spec = e.join_spec();
@@ -325,14 +349,24 @@ class Planner {
     return node;
   }
 
- private:
   const TripleStore& store_;
+  const PlanningHints hints_;  // small, copied: two optional pointers
 };
 
 }  // namespace
 
 PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store) {
-  return Planner(store).Lower(*e);
+  return Planner(store, PlanningHints{}).Lower(*e);
+}
+
+PlanPtr PlanExpr(const ExprPtr& e, const TripleStore& store,
+                 const PlanningHints& hints) {
+  return Planner(store, hints).Lower(*e);
+}
+
+PlanPtr PlanExpr(const Expr& e, const TripleStore& store,
+                 const PlanningHints& hints) {
+  return Planner(store, hints).Lower(e);
 }
 
 PlanPtr PlanShortestPath(const TripleStore& store, const std::string& rel,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 
 namespace trial {
@@ -130,8 +131,15 @@ void RenderSpan(const QueryTrace& t, size_t i, int indent, std::string* out) {
 }  // namespace
 
 double QError(double est_rows, double actual_rows) {
-  double e = std::max(est_rows, 1.0);
-  double a = std::max(actual_rows, 1.0);
+  // Degenerate inputs must not leak into histograms or thresholds: a
+  // NaN estimate (0·∞ folds on pathological plans) means "no
+  // information" and reads as a perfect q of 1; ±∞ (compounded
+  // U-subtree products) clamps to a huge finite ratio so the returned
+  // q-error is always finite and >= 1.
+  if (std::isnan(est_rows)) est_rows = 1.0;
+  if (std::isnan(actual_rows)) actual_rows = 1.0;
+  double e = std::min(std::max(est_rows, 1.0), 1e300);
+  double a = std::min(std::max(actual_rows, 1.0), 1e300);
   return std::max(e / a, a / e);
 }
 
@@ -176,7 +184,7 @@ std::string ExplainAnalyze(const PlanNode& root) {
       out->append(static_cast<size_t>(depth) * 2, ' ');
       AppendNodeSummary(n, out);
       out->append(" est=").append(FmtEstRows(n.est_rows));
-      char buf[64];
+      char buf[96];
       if (n.runtime.executed && n.runtime.rows_known) {
         std::snprintf(buf, sizeof buf, " actual=%zu q=%.2f",
                       n.runtime.actual_rows,
@@ -188,6 +196,15 @@ std::string ExplainAnalyze(const PlanNode& root) {
       }
       if (n.runtime.strategy != nullptr) {
         out->append(" (").append(n.runtime.strategy).append(")");
+      }
+      if (n.replanned) {
+        if (n.replan_obs > 0) {
+          std::snprintf(buf, sizeof buf, " [replanned est=%s→obs=%.0f]",
+                        FmtEstRows(n.replan_est).c_str(), n.replan_obs);
+          out->append(buf);
+        } else {
+          out->append(" [replanned]");
+        }
       }
       if (n.runtime.profiled) {
         out->append(" self=").append(FmtNs(n.runtime.self_ns));

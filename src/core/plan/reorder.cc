@@ -41,8 +41,12 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/plan/adapt.h"
 
 namespace trial {
 namespace plan {
@@ -83,6 +87,7 @@ struct Leaf {
   std::vector<ObjConstraint> theta;       // leaf-local positions (1,2,3)
   std::vector<DataConstraint> eta;
   double fsel = 1.0;  // estimated selectivity of the attached atoms
+  std::string sig;    // normalized expression text (feedback lookups only)
 };
 
 // A non-equality (or η) atom surviving flattening, with each position
@@ -118,10 +123,12 @@ struct Entry {
 class Reorderer {
  public:
   Reorderer(const TripleStore& store,
-            const std::function<PlanPtr(const Expr&)>& lower_leaf)
-      : store_(store), lower_leaf_(lower_leaf) {}
+            const std::function<PlanPtr(const Expr&)>& lower_leaf,
+            const PlanningHints& hints)
+      : store_(store), lower_leaf_(lower_leaf), hints_(hints) {}
 
   PlanPtr Run(const Expr& root) {
+    if (hints_.feedback != nullptr) region_sig_ = root.ToString();
     std::array<int, 3> out_vars = Flatten(root);
     if (!ok_ || leaves_.size() < 2 ||
         leaves_.size() > static_cast<size_t>(kMaxDpLeaves)) {
@@ -153,6 +160,7 @@ class Reorderer {
         }
       }
       if (leaf.plan == nullptr) ok_ = false;
+      if (hints_.feedback != nullptr) leaf.sig = e.ToString();
       leaf_vars_.push_back(vars);
       leaves_.push_back(std::move(leaf));
       return vars;
@@ -314,6 +322,42 @@ class Reorderer {
     return true;
   }
 
+  // ---- feedback / done-subset hints -----------------------------------
+
+  // Observed rows of subset `mask` from the FeedbackCache (keyed by the
+  // region signature + mask; single-leaf masks additionally try the
+  // leaf's own expression signature, the cross-query key the planner
+  // records for every node).  Negative when absent.  Memoized: one
+  // cache consult per feasible mask per planning pass.
+  double FeedbackRows(uint32_t mask) {
+    if (hints_.feedback == nullptr) return -1.0;
+    auto it = fb_memo_.find(mask);
+    if (it != fb_memo_.end()) return it->second;
+    double obs =
+        hints_.feedback->Lookup(store_, RegionSubsetKey(region_sig_, mask));
+    if (obs < 0 && (mask & (mask - 1)) == 0) {
+      const Leaf& leaf = leaves_[FirstLeaf(mask)];
+      if (!leaf.sig.empty()) obs = hints_.feedback->Lookup(store_, leaf.sig);
+    }
+    fb_memo_.emplace(mask, obs);
+    return obs;
+  }
+
+  // Whether subset `mask` with output schema `schema` is one of the
+  // adaptive executor's already-materialized intermediates (exact
+  // schema match — the splice reuses the set column-for-column).
+  bool IsDone(uint32_t mask, const int schema[3]) const {
+    if (hints_.done_subsets == nullptr) return false;
+    for (const DoneSubset& d : *hints_.done_subsets) {
+      if (d.mask != mask) continue;
+      if (d.cls[0] == schema[0] && d.cls[1] == schema[1] &&
+          d.cls[2] == schema[2]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   // ---- DP --------------------------------------------------------------
 
   void SeedLeafEntries() {
@@ -326,8 +370,16 @@ class Reorderer {
       }
       e.cap = leaf.index_scan ? 0x7 : 0x1;
       e.rows = leaf.plan->est_rows;
-      // A stored relation pre-exists; anything else paid its subtree.
-      e.cost = leaf.index_scan ? 0.0 : leaf.plan->est_rows;
+      double obs = FeedbackRows(1u << l);
+      if (obs >= 0) {
+        e.rows = obs;
+        for (int c = 0; c < 3; ++c) {
+          e.dist[c] = std::min(e.dist[c], std::max(obs, 1.0));
+        }
+      }
+      // A stored relation pre-exists; anything else paid its subtree —
+      // unless the adaptive executor already materialized it (sunk).
+      e.cost = leaf.index_scan || IsDone(1u << l, e.schema) ? 0.0 : e.rows;
       e.fsel = leaf.fsel;
       e.leaf = static_cast<int>(l);
       table_[1u << l].push_back(e);
@@ -438,6 +490,10 @@ class Reorderer {
         rows *= p.sel;
       }
     }
+    // Observed cardinality (prior execution of this exact subset) beats
+    // any estimate; feedback only moves cost, never semantics.
+    double obs = FeedbackRows(mask);
+    if (obs >= 0) rows = obs;
     rows = std::max(rows, 0.0);
     const double lc = le.cost, rc = re.cost;
     const double ln = le.rows, rn = re.rows;
@@ -505,7 +561,9 @@ class Reorderer {
           if (d <= 0) d = DefaultDistinct(rows);
           e.dist[c] = std::min(d, std::max(rows, 1.0));
         }
-        e.cost = cand.cost;
+        // An already-materialized subset costs nothing to (re)produce —
+        // the adaptive executor binds the stored intermediate to it.
+        e.cost = IsDone(mask, e.schema) ? 0.0 : cand.cost;
         e.op = cand.op;
         e.lmask = lmask;
         e.rmask = rmask;
@@ -554,7 +612,16 @@ class Reorderer {
 
   PlanPtr EmitEntry(uint32_t mask, int idx, const int out_cls[3]) {
     const Entry e = table_[mask][idx];  // copy: table untouched below
-    if (e.leaf >= 0) return std::move(leaves_[e.leaf].plan);
+    if (e.leaf >= 0) {
+      PlanPtr leaf_plan = std::move(leaves_[e.leaf].plan);
+      if (leaf_plan != nullptr) {
+        leaf_plan->region_mask = mask;
+        for (int c = 0; c < 3; ++c) {
+          leaf_plan->region_cls[c] = leaves_[e.leaf].cls[c];
+        }
+      }
+      return leaf_plan;
+    }
     const Entry& le = table_[e.lmask][e.lidx];
     const Entry& re = table_[e.rmask][e.ridx];
     PlanPtr l = EmitEntry(e.lmask, e.lidx, nullptr);
@@ -563,11 +630,13 @@ class Reorderer {
 
     auto node = std::make_unique<PlanNode>();
     node->op = e.op;
+    node->region_mask = mask;
     bool ok = true;
     // Output spec: the entry's schema classes — overridden with the
     // region's original output classes at the root.
     for (int j = 0; j < 3; ++j) {
       int cls = out_cls != nullptr ? out_cls[j] : e.schema[j];
+      node->region_cls[j] = cls;
       node->spec.out[j] = ClassPos(le, re, cls, &ok);
       int col = SchemaCol(e, cls);
       node->est_distinct[j] = col >= 0 ? e.dist[col] : e.dist[j];
@@ -656,6 +725,9 @@ class Reorderer {
 
   const TripleStore& store_;
   const std::function<PlanPtr(const Expr&)>& lower_leaf_;
+  const PlanningHints& hints_;
+  std::string region_sig_;  // root.ToString(), when feedback is consulted
+  std::unordered_map<uint32_t, double> fb_memo_;
 
   std::vector<Leaf> leaves_;
   std::vector<std::array<int, 3>> leaf_vars_;
@@ -677,9 +749,10 @@ class Reorderer {
 
 PlanPtr ReorderJoinRegion(
     const Expr& e, const TripleStore& store,
-    const std::function<PlanPtr(const Expr&)>& lower_leaf) {
+    const std::function<PlanPtr(const Expr&)>& lower_leaf,
+    const PlanningHints& hints) {
   if (e.kind() != ExprKind::kJoin) return nullptr;
-  return Reorderer(store, lower_leaf).Run(e);
+  return Reorderer(store, lower_leaf, hints).Run(e);
 }
 
 }  // namespace plan

@@ -18,9 +18,17 @@ namespace plan {
 /// of the region (the region's leaves).  Returns nullptr when the
 /// region is too large for exhaustive enumeration — the caller then
 /// falls back to lowering the written order pairwise.
+///
+/// `hints.feedback` substitutes observed cardinalities (keyed by the
+/// region signature + DP leaf mask, see adapt.h) for the statistical
+/// estimates of matching subsets; `hints.done_subsets` prices already-
+/// materialized subsets at zero cost (the adaptive executor's mid-query
+/// re-plan).  Emitted nodes carry their DP subset bookkeeping in
+/// PlanNode::region_mask / region_cls.
 PlanPtr ReorderJoinRegion(
     const Expr& e, const TripleStore& store,
-    const std::function<PlanPtr(const Expr&)>& lower_leaf);
+    const std::function<PlanPtr(const Expr&)>& lower_leaf,
+    const PlanningHints& hints = {});
 
 }  // namespace plan
 }  // namespace trial

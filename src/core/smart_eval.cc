@@ -11,12 +11,37 @@
 // inline engine at every thread count.  Callers that want the plan
 // itself (EXPLAIN, tests) use plan::PlanExpr / plan::ExecutePlan
 // directly; this evaluator exists for the uniform Evaluator interface.
+//
+// The evaluator keeps a small LRU plan cache keyed by the expression's
+// normalized text plus the store's identity and mutation epoch — the
+// building block the query-server item needs: repeated queries (and
+// syntactically equal ones arriving as distinct ExprPtr trees) skip the
+// lowering, and any store mutation bumps the epoch so stale plans miss
+// instead of serving outdated estimates.  plan_cache.hits/misses record
+// the effectiveness when metrics are on.
+//
+// With opts.adaptive set, a cache miss routes through
+// plan::ExecuteAdaptive — mid-query re-planning plus the learned
+// cardinality FeedbackCache — and caches the assembled final tree, so
+// the NEXT evaluation starts from the adapted join order.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/eval.h"
+#include "core/plan/adapt.h"
 #include "core/plan/plan.h"
+#include "util/metrics.h"
 
 namespace trial {
 namespace {
+
+// Plans are a few hundred bytes; 16 entries covers a working set of
+// dashboard-style repeated queries without measurable memory.
+constexpr size_t kPlanCacheCapacity = 16;
 
 class SmartEvaluator final : public Evaluator {
  public:
@@ -24,30 +49,85 @@ class SmartEvaluator final : public Evaluator {
 
   Result<TripleSet> Eval(const ExprPtr& e, const TripleStore& store) override {
     TRIAL_RETURN_IF_ERROR(ValidateExpr(e));
-    // One-entry plan memo: re-evaluating the same expression against
-    // the same store (fixpoint drivers, benchmarks, repeated queries)
-    // skips the lowering.  Safe under store mutation: the executor
-    // re-derives every cost decision from actual cardinalities and
-    // resolves relation names at execution time, so a cached plan's
-    // semantics equal a fresh plan's — only the estimate annotations
-    // (diagnostics and buffer hints) could go stale.  Holding the
-    // ExprPtr pins the expression, so the pointer cannot be reused.
-    if (plan_ == nullptr || cached_expr_.get() != e.get() ||
-        cached_store_ != &store) {
-      plan_ = plan::PlanExpr(e, store);
-      cached_expr_ = e;
-      cached_store_ = &store;
+    // Cached plans are keyed by (normalized expression, store identity,
+    // store epoch).  Safe under mutation twice over: the epoch key
+    // invalidates on any store change, and even a hypothetically stale
+    // plan stays semantically correct — the executor re-derives every
+    // cost decision from actual cardinalities and resolves relation
+    // names at execution time; only estimate annotations could go
+    // stale.
+    const std::string key = e->ToString();
+    const uint64_t epoch = store.Epoch();
+    plan::PlanNode* plan = CacheLookup(key, &store, epoch);
+    if (MetricsEnabled()) {
+      MetricsRegistry::Global()
+          .GetCounter(plan != nullptr ? "plan_cache.hits"
+                                      : "plan_cache.misses")
+          ->Increment();
     }
-    return plan::ExecutePlan(*plan_, store, opts_);
+    if (plan != nullptr) {
+      return plan::ExecutePlan(*plan, store, opts_);
+    }
+    if (opts_.adaptive) {
+      plan::AdaptiveResult ar;
+      Result<TripleSet> result =
+          plan::ExecuteAdaptive(e, store, opts_, /*profile=*/false, &ar);
+      // Cache the assembled (adapted) tree: the next evaluation runs
+      // the corrected join order statically.  Note the epoch as of
+      // before execution — execution itself never mutates the store.
+      if (result.ok() && ar.plan != nullptr) {
+        CacheInsert(key, &store, epoch, std::move(ar.plan));
+      }
+      return result;
+    }
+    plan::PlanPtr fresh = plan::PlanExpr(e, store);
+    Result<TripleSet> result = plan::ExecutePlan(*fresh, store, opts_);
+    CacheInsert(key, &store, epoch, std::move(fresh));
+    return result;
   }
 
   const char* name() const override { return "smart"; }
 
  private:
+  struct CacheEntry {
+    std::string key;
+    const TripleStore* store = nullptr;
+    uint64_t epoch = 0;
+    plan::PlanPtr plan;
+  };
+
+  // Linear scan + move-to-front: at capacity 16 this beats any map.
+  plan::PlanNode* CacheLookup(const std::string& key, const TripleStore* store,
+                              uint64_t epoch) {
+    for (size_t i = 0; i < cache_.size(); ++i) {
+      CacheEntry& c = cache_[i];
+      if (c.store != store || c.key != key) continue;
+      if (c.epoch != epoch) {
+        // Same query, mutated store: the entry can never hit again
+        // (epochs are monotonic), drop it.
+        cache_.erase(cache_.begin() + static_cast<ptrdiff_t>(i));
+        return nullptr;
+      }
+      if (i != 0) std::rotate(cache_.begin(), cache_.begin() + i,
+                              cache_.begin() + i + 1);
+      return cache_.front().plan.get();
+    }
+    return nullptr;
+  }
+
+  void CacheInsert(const std::string& key, const TripleStore* store,
+                   uint64_t epoch, plan::PlanPtr plan) {
+    if (cache_.size() >= kPlanCacheCapacity) cache_.pop_back();
+    CacheEntry e;
+    e.key = key;
+    e.store = store;
+    e.epoch = epoch;
+    e.plan = std::move(plan);
+    cache_.insert(cache_.begin(), std::move(e));
+  }
+
   EvalOptions opts_;
-  plan::PlanPtr plan_;
-  ExprPtr cached_expr_;
-  const TripleStore* cached_store_ = nullptr;
+  std::vector<CacheEntry> cache_;  // front = most recently used
 };
 
 }  // namespace

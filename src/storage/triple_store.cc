@@ -3,18 +3,21 @@
 namespace trial {
 
 ObjId TripleStore::InternObject(std::string_view name) {
+  ++epoch_;
   ObjId id = objects_.Intern(name);
   if (id >= rho_.size()) rho_.resize(id + 1);
   return id;
 }
 
 std::vector<ObjId> TripleStore::MergeDictionary(const StringInterner& shard) {
+  ++epoch_;
   std::vector<ObjId> remap = objects_.MergeFrom(shard);
   if (objects_.size() > rho_.size()) rho_.resize(objects_.size());
   return remap;
 }
 
 void TripleStore::SetValue(ObjId id, DataValue v) {
+  ++epoch_;
   if (id >= rho_.size()) rho_.resize(id + 1);
   rho_[id] = std::move(v);
 }
@@ -27,6 +30,7 @@ const DataValue& TripleStore::Value(ObjId id) const {
 RelId TripleStore::AddRelation(std::string_view name) {
   auto it = rel_index_.find(std::string(name));
   if (it != rel_index_.end()) return it->second;
+  ++epoch_;
   RelId id = static_cast<RelId>(relations_.size());
   rel_names_.emplace_back(name);
   rel_index_.emplace(rel_names_.back(), id);
@@ -35,6 +39,7 @@ RelId TripleStore::AddRelation(std::string_view name) {
 }
 
 void TripleStore::AdoptFrozenDictionary(FrozenStrings frozen) {
+  ++epoch_;
   size_t count = frozen.count;
   objects_.AdoptFrozen(std::move(frozen));
   if (count > rho_.size()) rho_.resize(count);
@@ -43,6 +48,7 @@ void TripleStore::AdoptFrozenDictionary(FrozenStrings frozen) {
 RelId TripleStore::AddSnapshotRelation(
     std::string_view name, std::shared_ptr<const TripleSegmentSource> source) {
   RelId id = AddRelation(name);
+  ++epoch_;
   relations_[id] = TripleSet::FromSnapshot(std::move(source));
   return id;
 }
@@ -61,11 +67,14 @@ const TripleSet* TripleStore::FindRelation(std::string_view name) const {
 
 TripleSet* TripleStore::MutableRelation(std::string_view name) {
   auto it = rel_index_.find(std::string(name));
-  return it == rel_index_.end() ? nullptr : &relations_[it->second];
+  if (it == rel_index_.end()) return nullptr;
+  ++epoch_;  // conservative: handing out mutable access may mutate
+  return &relations_[it->second];
 }
 
 Triple TripleStore::Add(std::string_view rel, std::string_view s,
                         std::string_view p, std::string_view o) {
+  ++epoch_;
   RelId r = AddRelation(rel);
   Triple t{InternObject(s), InternObject(p), InternObject(o)};
   relations_[r].Insert(t);

@@ -90,7 +90,10 @@ class TripleStore {
 
   /// Relation access by id.  Pre: id < NumRelations().
   const TripleSet& Relation(RelId id) const { return relations_[id]; }
-  TripleSet& MutableRelation(RelId id) { return relations_[id]; }
+  TripleSet& MutableRelation(RelId id) {
+    ++epoch_;  // conservative: handing out mutable access may mutate
+    return relations_[id];
+  }
   std::string_view RelationName(RelId id) const { return rel_names_[id]; }
   size_t NumRelations() const { return relations_.size(); }
 
@@ -101,6 +104,7 @@ class TripleStore {
 
   /// Inserts an id-level triple.  Pre: ids valid; relation exists.
   void Add(RelId rel, ObjId s, ObjId p, ObjId o) {
+    ++epoch_;
     relations_[rel].Insert(s, p, o);
   }
 
@@ -110,6 +114,7 @@ class TripleStore {
   /// detach semantics are exactly those of per-triple Add.
   /// Pre: ids valid; relation exists.
   void BulkAppend(RelId rel, std::vector<Triple> batch) {
+    ++epoch_;
     relations_[rel].InsertBatch(std::move(batch));
   }
 
@@ -123,6 +128,15 @@ class TripleStore {
   const TripleSetStats& RelationStats(RelId id) const {
     return relations_[id].Stats();
   }
+
+  // ---- mutation epoch -------------------------------------------------
+
+  /// Monotonic counter bumped by every mutating entry point (object
+  /// interning, rho updates, relation creation/insertion, mutable
+  /// relation access).  Caches keyed on store contents — the plan cache
+  /// and the cardinality FeedbackCache — compare epochs to detect
+  /// staleness without hashing the data.
+  uint64_t Epoch() const { return epoch_; }
 
   // ---- display --------------------------------------------------------
 
@@ -139,6 +153,7 @@ class TripleStore {
   std::vector<std::string> rel_names_;
   std::unordered_map<std::string, RelId> rel_index_;
   std::vector<TripleSet> relations_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace trial

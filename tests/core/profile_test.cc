@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,13 @@ TEST(QErrorFn, ClampsAndIsSymmetricRatio) {
   EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
   EXPECT_DOUBLE_EQ(QError(0.25, 2), 2.0);
   EXPECT_DOUBLE_EQ(QError(8, 0), 8.0);
+  // NaN estimates read as "no information" and infinities clamp to a
+  // huge finite ratio — q-error is always finite and >= 1, so it can
+  // feed histograms and the adaptive re-plan threshold safely.
+  EXPECT_DOUBLE_EQ(QError(std::numeric_limits<double>::quiet_NaN(), 6), 6.0);
+  EXPECT_TRUE(std::isfinite(QError(std::numeric_limits<double>::infinity(),
+                                   std::numeric_limits<double>::infinity())));
+  EXPECT_GE(QError(-std::numeric_limits<double>::infinity(), 2), 1.0);
 }
 
 // The profile layer's q-error must be exactly the ratio the
